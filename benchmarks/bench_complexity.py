@@ -1,0 +1,26 @@
+"""Footnote-1 bench: scheduler decision time and queue space.
+
+The paper defers the time/space complexity analysis of its policies to a
+subsequent paper; this bench runs our instrumented measurement and
+asserts the practicality bound implied by the production-deployment
+claim: scheduling decisions are orders of magnitude cheaper than the
+work they schedule.
+"""
+
+
+def bench_complexity(figure):
+    outcome = figure("complexity")
+    rendered = outcome.rendered
+    assert "arrival mean (ms)" in rendered
+    # Parse the per-job scheduler cost column and assert the bound.
+    import re
+
+    for line in rendered.splitlines():
+        match = re.match(r"^(\S+@\d+n)\s", line)
+        if not match:
+            continue
+        cells = line.split()
+        cost_per_job_ms = float(cells[4])
+        # vs a ~2000 s inter-arrival time at these loads: < 1 s of
+        # scheduler CPU per job is already 3 orders of magnitude slack.
+        assert cost_per_job_ms < 1000.0, line

@@ -1,0 +1,32 @@
+"""Fig 5 — delayed scheduling for different period delays vs out-of-order.
+
+Prints speedup and delay-excluded waiting time and asserts the paper's
+shape: delayed scheduling trails out-of-order on speedup but sustains
+higher loads, increasing with the period delay.
+"""
+
+import os
+
+
+def bench_fig5(figure):
+    outcome = figure("fig5")
+    sustained = outcome.sweep.max_sustained_load()
+    speedups = outcome.sweep.series("speedup")
+
+    # Out-of-order wins on low-load speedup over every delayed variant
+    # that produced steady-state points at this scale.
+    assert speedups["out-of-order"], "out-of-order produced no points"
+    ooo_speedup = speedups["out-of-order"][0][1]
+    compared = 0
+    for label in ("delayed-11h", "delayed-2days", "delayed-1week"):
+        if speedups.get(label):
+            assert speedups[label][0][1] < ooo_speedup, label
+            compared += 1
+    assert compared >= 1
+
+    # ...but delayed sustains at least as much load, growing with delay.
+    # (The 1-week period needs a quick/full horizon to fit several
+    # periods, so the sustainability ordering is only asserted there.)
+    if os.environ.get("REPRO_BENCH_SCALE", "quick") != "smoke":
+        assert sustained["delayed-1week"] >= sustained["delayed-11h"]
+        assert sustained["delayed-1week"] >= sustained["out-of-order"]

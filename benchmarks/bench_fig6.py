@@ -1,0 +1,26 @@
+"""Fig 6 — delayed scheduling for different stripe sizes.
+
+Prints speedup and delay-excluded waiting time and asserts the paper's
+shape: smaller stripes give clearly higher speedups (finer
+parallelisation) with little effect on the average waiting time.
+"""
+
+from repro.core import units
+
+
+def bench_fig6(figure):
+    outcome = figure("fig6")
+    speedups = outcome.sweep.series("speedup")
+    waits = outcome.sweep.series("waiting_excl_delay")
+
+    at_low_load = {
+        label: points[0][1] for label, points in speedups.items() if points
+    }
+    # Monotone: smaller stripes -> higher speedup.
+    assert at_low_load["stripe-200"] > at_low_load["stripe-5K"]
+    assert at_low_load["stripe-1K"] > at_low_load["stripe-25K"]
+
+    # Waiting time (delay excluded) barely moves with stripe size:
+    # all curves within a few hours of each other at the lowest load.
+    first_waits = [points[0][1] for points in waits.values() if points]
+    assert max(first_waits) - min(first_waits) < 8 * units.HOUR

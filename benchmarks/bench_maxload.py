@@ -1,0 +1,42 @@
+"""§5.2 — maximal sustainable load of the delayed extremes vs theory.
+
+Prints the comparison table and asserts the paper's claims: delayed
+scheduling with 200 GB caches, a 1-week delay and 200-event stripes
+sustains a load close to the 3.46 jobs/h theoretical maximum (the paper
+reaches ~3.0) and roughly 3x the farm's ~1.1 jobs/h ceiling.
+"""
+
+import os
+
+from repro.analysis.theory import theoretical_limits
+
+
+def bench_maxload(figure):
+    outcome = figure("maxload")
+    sustained = outcome.sweep.max_sustained_load()
+    limits = theoretical_limits(outcome.sweep.specs[0].config)
+
+    farm_max = sustained["farm"]
+    delayed_max = sustained["delayed-extreme"]
+
+    # The farm saturates near its theoretical 1.125 jobs/h ceiling.  A
+    # run slightly past the ceiling needs a long horizon before the queue
+    # growth dominates the M/Er/m variance, so shorter scales get slack.
+    slack = 1.05 if os.environ.get("REPRO_BENCH_SCALE", "quick") == "full" else 1.15
+    assert farm_max <= limits.farm_max_load_per_hour * slack
+
+    # The delayed extreme approaches the global optimum...
+    assert delayed_max >= 0.75 * limits.max_load_per_hour, (
+        delayed_max,
+        limits.max_load_per_hour,
+    )
+    # ...and clearly beats the farm by the paper's ~3x.
+    assert delayed_max >= 2.3 * farm_max
+
+    # The burst-drain variant sustains the same extreme loads AND
+    # delivers the paper's "average speedup of more than 10" there.
+    burst_max = sustained["delayed-extreme-burst"]
+    assert burst_max >= 0.75 * limits.max_load_per_hour
+    burst_speedups = dict(outcome.sweep.series("speedup")["delayed-extreme-burst"])
+    if burst_speedups:
+        assert max(burst_speedups.values()) > 10.0, burst_speedups

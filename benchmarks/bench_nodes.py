@@ -1,0 +1,29 @@
+"""§2.4 — cluster-size invariance: 5/10/20 nodes at equal per-node load.
+
+Prints per-node-normalised performance and asserts the paper's claim
+that 5- and 20-node simulations "lead to similar results".
+"""
+
+import os
+
+
+def bench_nodes(figure):
+    outcome = figure("nodes")
+    by_label = {
+        spec.label: result
+        for spec, result in zip(outcome.sweep.specs, outcome.sweep.results)
+    }
+    for policy in ("ooo", "cache"):
+        per_node = {}
+        strict = os.environ.get("REPRO_BENCH_SCALE", "quick") != "smoke"
+        for n_nodes in (5, 10, 20):
+            result = by_label[f"{policy}-{n_nodes}nodes"]
+            if strict:
+                assert not result.overload.overloaded, (policy, n_nodes)
+            per_node[n_nodes] = (
+                result.measured.mean_speedup / result.config.n_nodes
+            )
+        values = list(per_node.values())
+        # Normalised speedups within a ~2.5x band across cluster sizes
+        # (the paper reports "similar results" without quantifying).
+        assert max(values) < 2.5 * min(values), (policy, per_node)

@@ -1,0 +1,38 @@
+"""§3.1 — the processing farm behaves as an M/Er/m queue.
+
+Prints simulated vs predicted waiting times across utilisations and
+asserts agreement within the Allen-Cunneen approximation's accuracy.
+"""
+
+
+import pytest
+
+from repro.analysis.queueing import merlang_wait
+from repro.core import units
+
+
+def bench_queueing(figure):
+    outcome = figure("farmq")
+    checked = 0
+    for spec, result in zip(outcome.sweep.specs, outcome.sweep.results):
+        if result.overload.overloaded:
+            continue
+        config = spec.config
+        prediction = merlang_wait(
+            servers=config.n_nodes,
+            arrival_rate=units.per_hour(config.arrival_rate_per_hour),
+            mean_service=config.mean_service_time_uncached,
+            erlang_shape=config.erlang_shape,
+        )
+        measured = result.measured.mean_waiting
+        if prediction.mean_wait < 5 * units.MINUTE:
+            # Both tiny: just require the simulation is also tiny.
+            assert measured < 30 * units.MINUTE
+        else:
+            assert measured == pytest.approx(prediction.mean_wait, rel=0.6), (
+                spec.config.arrival_rate_per_hour,
+                measured,
+                prediction.mean_wait,
+            )
+        checked += 1
+    assert checked >= 2

@@ -1,0 +1,111 @@
+"""Performance micro-benchmarks of the simulator substrates.
+
+These are classic pytest-benchmark timing benches (many rounds): they
+guard the hot paths — the event kernel, the extent algebra, the LRU
+cache and end-to-end simulation throughput — against performance
+regressions.
+"""
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.core import units
+from repro.data.cache import LRUSegmentCache
+from repro.data.intervals import Interval, IntervalSet
+from repro.sim.config import quick_config
+from repro.sim.simulator import run_simulation
+
+
+def bench_engine_throughput(benchmark):
+    """Dispatch 20k timer events through the kernel."""
+
+    def run():
+        engine = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(20_000):
+            engine.call_at(float(i % 997), tick)
+        engine.run()
+        return count
+
+    assert benchmark(run) == 20_000
+
+
+def bench_interval_set_algebra(benchmark):
+    """Union/intersect/subtract churn over fragmented sets."""
+    rng = np.random.default_rng(0)
+    intervals = [
+        Interval(int(a), int(a) + int(n) + 1)
+        for a, n in zip(
+            rng.integers(0, 1_000_000, 400), rng.integers(1, 5_000, 400)
+        )
+    ]
+
+    def run():
+        left = IntervalSet(intervals[:200])
+        right = IntervalSet(intervals[200:])
+        union = left | right
+        inter = left & right
+        diff = union - inter
+        return diff.measure()
+
+    assert benchmark(run) > 0
+
+
+def bench_lru_cache_churn(benchmark):
+    """Streaming insert/touch churn against a full cache."""
+    rng = np.random.default_rng(1)
+    operations = [
+        (int(a), int(a) + int(n) + 1)
+        for a, n in zip(
+            rng.integers(0, 3_000_000, 1_000), rng.integers(100, 3_000, 1_000)
+        )
+    ]
+
+    def run():
+        cache = LRUSegmentCache(150_000)
+        now = 0.0
+        for start, end in operations:
+            now += 1.0
+            cache.insert(Interval(start, end), now)
+        return cache.used_events
+
+    used = benchmark(run)
+    assert 0 < used <= 150_000
+
+
+def bench_simulation_out_of_order(benchmark):
+    """End-to-end: 6 simulated days of out-of-order scheduling."""
+    config = quick_config(
+        duration=6 * units.DAY, arrival_rate_per_hour=6.0, seed=3
+    )
+
+    result = benchmark.pedantic(
+        run_simulation, args=(config, "out-of-order"), rounds=1, iterations=1
+    )
+    assert result.jobs_completed > 0
+    events_per_second = result.engine_events / max(result.wall_seconds, 1e-9)
+    print(
+        f"\nout-of-order: {result.engine_events} engine events, "
+        f"{events_per_second:,.0f} events/s wall"
+    )
+
+
+def bench_simulation_delayed(benchmark):
+    """End-to-end: 6 simulated days of delayed scheduling."""
+    config = quick_config(
+        duration=6 * units.DAY, arrival_rate_per_hour=6.0, seed=3
+    )
+
+    result = benchmark.pedantic(
+        run_simulation,
+        args=(config, "delayed"),
+        kwargs={"period": 6 * units.HOUR, "stripe_events": 200},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.jobs_completed > 0

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Adaptive delay scheduling under a load spike.
+
+Builds a non-stationary workload with the library's scenario API — a week
+at a comfortable 1.2 jobs/hour, a 5-day spike at 2.6 jobs/hour (beyond
+what out-of-order sustains), then back to 1.2 — and compares how
+out-of-order and adaptive delay scheduling ride it out.  This is §6's
+motivating scenario: "large delays at high loads and zero delays at
+normal loads".
+
+Usage::
+
+    python examples/load_spike.py
+"""
+
+import numpy as np
+
+from repro import paper_config, units
+from repro.analysis.tables import format_table
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import workload_from_config
+
+
+def phase_stats(records, t0: float, t1: float):
+    """Mean wait/speedup for jobs arriving in [t0, t1)."""
+    waits = [r.waiting_time for r in records if t0 <= r.arrival_time < t1]
+    speedups = [r.speedup for r in records if t0 <= r.arrival_time < t1]
+    if not waits:
+        return float("nan"), float("nan"), 0
+    return float(np.mean(waits)), float(np.mean(speedups)), len(waits)
+
+
+def main() -> None:
+    phases = [(1.2, 7.0), (2.6, 5.0), (1.2, 9.0)]
+    total_days = sum(days for _, days in phases)
+    config = paper_config(
+        duration=total_days * units.DAY,
+        seed=23,
+        warmup_fraction=0.0,  # phases analysed explicitly below
+    )
+    workload = workload_from_config(config, kind="phased", phases=phases)
+    trace = workload.generate_list()
+    print(
+        f"Trace: {len(trace)} jobs over {total_days:.0f} days — "
+        f"{' → '.join(f'{rate}/h x {days:.0f}d' for rate, days in phases)}\n"
+    )
+
+    results = {}
+    for policy, params in (
+        ("out-of-order", {}),
+        ("adaptive", {"stripe_events": 200}),
+    ):
+        results[policy] = run_simulation(config, policy, trace=trace, **params)
+        print(f"  done: {results[policy].brief()}")
+
+    rows = []
+    labels = ["before spike (1.2/h)", "during spike (2.6/h)", "after spike (1.2/h)"]
+    for (t0, t1), label in zip(workload.phase_bounds(), labels):
+        row = [label]
+        for policy in results:
+            wait, speedup, count = phase_stats(results[policy].records, t0, t1)
+            row.append(
+                f"wait {units.fmt_duration(wait)}, speedup {speedup:.1f} "
+                f"({count} jobs)"
+            )
+        rows.append(row)
+
+    print()
+    print(
+        format_table(
+            ["phase"] + list(results),
+            rows,
+            title="Load-spike response (completed jobs by arrival phase)",
+        )
+    )
+    adaptive = results["adaptive"]
+    print(
+        f"\nadaptive delay changes: "
+        f"{adaptive.policy_stats.get('delay_changes', 0):.0f}, final delay: "
+        f"{units.fmt_duration(adaptive.policy_stats.get('current_delay', 0.0))}"
+    )
+    print(
+        "Expected shape: out-of-order accumulates a backlog during the spike\n"
+        "and recovers slowly; adaptive escalates its period delay during the\n"
+        "spike (worse per-job waits) but keeps the cluster from drowning,\n"
+        "then returns to zero delay."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare all seven scheduling policies on one identical workload.
+
+Every policy sees the exact same job trace (same arrivals, sizes and
+start positions), so differences are pure scheduling effects — the
+experimental discipline behind the paper's Figs 2-7 condensed into one
+table.
+
+Usage::
+
+    python examples/policy_comparison.py [load_jobs_per_hour] [days]
+"""
+
+import sys
+
+from repro import paper_config, units
+from repro.analysis.tables import format_table
+from repro.workload.generator import WorkloadGenerator
+from repro.core.rng import RandomStreams
+
+
+def main() -> None:
+    load = float(sys.argv[1]) if len(sys.argv) > 1 else 1.2
+    days = float(sys.argv[2]) if len(sys.argv) > 2 else 16.0
+
+    config = paper_config(
+        arrival_rate_per_hour=load, duration=days * units.DAY, seed=11
+    )
+
+    # One shared trace: every policy schedules identical jobs.
+    generator = WorkloadGenerator(
+        dataspace=config.dataspace(),
+        arrival_rate_per_hour=config.arrival_rate_per_hour,
+        job_size=config.job_size_distribution(),
+        start_distribution=config.start_distribution(),
+        streams=RandomStreams(config.seed),
+    )
+    trace = generator.generate_list(config.duration)
+    print(
+        f"Shared trace: {len(trace)} jobs over {days:.0f} days at "
+        f"{load} jobs/hour (mean size "
+        f"{sum(r.n_events for r in trace) / len(trace):,.0f} events)\n"
+    )
+
+    policies = [
+        ("farm", {}),
+        ("splitting", {}),
+        ("cache-splitting", {}),
+        ("out-of-order", {}),
+        ("replication", {}),
+        ("delayed", {"period": 2 * units.DAY, "stripe_events": 5000}),
+        ("adaptive", {"stripe_events": 5000}),
+        ("mixed", {"period": 2 * units.DAY, "stripe_events": 5000}),
+    ]
+
+    # Traces are passed per-run (run_simulation accepts one); we use the
+    # serial path here to keep the example dependency-free and simple.
+    from repro.sim.simulator import run_simulation
+
+    rows = []
+    for name, params in policies:
+        result = run_simulation(config, name, trace=trace, **params)
+        summary = result.measured
+        rows.append(
+            [
+                name,
+                f"{summary.mean_speedup:.2f}",
+                units.fmt_duration(summary.mean_waiting),
+                units.fmt_duration(summary.mean_waiting_excl_delay),
+                f"{result.cache_hit_fraction():.0%}",
+                f"{result.tertiary_redundancy:.2f}",
+                "yes" if result.overload.overloaded else "no",
+            ]
+        )
+        print(f"  done: {result.brief()}")
+
+    print()
+    print(
+        format_table(
+            ["policy", "speedup", "wait", "wait (excl delay)",
+             "cache hits", "tape redundancy", "overloaded"],
+            rows,
+            title=f"All policies on one trace @ {load} jobs/hour",
+        )
+    )
+    print(
+        "\nReading guide: the paper's narrative is visible top to bottom —\n"
+        "splitting parallelises (speedup >> 1), caching multiplies it,\n"
+        "out-of-order cuts waits by overtaking, replication changes nothing,\n"
+        "delayed trades waiting time for tape-traffic efficiency (lowest\n"
+        "redundancy), adaptive recovers low-load latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the paper's cluster under one scheduling policy.
+
+Runs the out-of-order scheduler (the paper's §4 contribution) on the
+reference configuration — 10 nodes, 100 GB disk caches, 2 TB data space,
+LHCb-style analysis jobs arriving at 1.5 jobs/hour — and prints the
+metrics the paper reports: average speedup, waiting time, cache
+effectiveness.
+
+Usage::
+
+    python examples/quickstart.py [policy] [load_jobs_per_hour]
+"""
+
+import sys
+
+from repro import paper_config, run_simulation, units
+from repro.analysis.tables import format_table
+from repro.analysis.theory import theoretical_limits
+
+
+def main() -> None:
+    policy = sys.argv[1] if len(sys.argv) > 1 else "out-of-order"
+    load = float(sys.argv[2]) if len(sys.argv) > 2 else 1.5
+
+    config = paper_config(
+        arrival_rate_per_hour=load,
+        duration=20 * units.DAY,
+        seed=7,
+    )
+
+    limits = theoretical_limits(config)
+    print(
+        f"Cluster: {config.n_nodes} nodes, "
+        f"{units.fmt_size(config.cache_bytes)} cache each, "
+        f"{units.fmt_size(config.total_data_bytes)} data space"
+    )
+    print(
+        f"Anchors: single-job single-node time "
+        f"{units.fmt_duration(limits.single_job_single_node_time)}, "
+        f"max load {limits.max_load_per_hour:.2f} jobs/h, "
+        f"max speedup {limits.max_overall_speedup:.1f}"
+    )
+    print(f"Simulating policy {policy!r} at {load} jobs/hour "
+          f"for {config.duration / units.DAY:.0f} days...\n")
+
+    result = run_simulation(config, policy)
+
+    summary = result.measured
+    rows = [
+        ["jobs measured (post-warmup)", summary.n_jobs],
+        ["mean speedup", f"{summary.mean_speedup:.2f}"],
+        ["mean waiting time", units.fmt_duration(summary.mean_waiting)],
+        ["median waiting time", units.fmt_duration(summary.median_waiting)],
+        ["p95 waiting time", units.fmt_duration(summary.p95_waiting)],
+        ["mean processing time", units.fmt_duration(summary.mean_processing)],
+        ["node utilization", f"{result.node_utilization:.1%}"],
+        ["cache hit fraction", f"{result.cache_hit_fraction():.1%}"],
+        ["tertiary redundancy", f"{result.tertiary_redundancy:.2f}x"],
+        ["steady state", not result.overload.overloaded],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"Results — {policy}"))
+
+    if result.overload.overloaded:
+        print(
+            "\nNOTE: the system is overloaded at this load (queues grow "
+            "without bound); waiting-time averages are not meaningful — "
+            "this is where the paper cuts its curves."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments whose pip cannot do PEP 660 editable
+installs (all metadata lives in pyproject.toml; the console script is
+repeated here so legacy ``setup.py develop`` installs it too)."""
+
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,102 @@
+"""Batch-means confidence intervals for steady-state simulation output.
+
+A single long run's job records are autocorrelated (a burst delays many
+jobs together), so the naive sample variance understates the error of the
+mean.  The classic remedy — the method of batch means — groups the
+ordered observations into ``n_batches`` contiguous batches and treats the
+batch averages as (approximately) independent samples.  This is the
+within-run counterpart of :mod:`repro.sim.replications` (across-run CIs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.replications import t_critical_95
+
+
+@dataclass(frozen=True)
+class BatchMeansEstimate:
+    """Steady-state mean with a batch-means 95 % confidence interval."""
+
+    mean: float
+    half_width: float
+    n_batches: int
+    batch_size: int
+    lag1_autocorrelation: float  # of the batch means; ~0 when batches work
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} ± {self.half_width:.2g} "
+            f"({self.n_batches} batches x {self.batch_size})"
+        )
+
+
+def lag1_autocorrelation(values: np.ndarray) -> float:
+    """Lag-1 autocorrelation coefficient (0 for white noise)."""
+    if values.size < 3:
+        return math.nan
+    centred = values - values.mean()
+    denominator = float(np.sum(centred**2))
+    if denominator == 0.0:
+        return 0.0
+    return float(np.sum(centred[:-1] * centred[1:]) / denominator)
+
+
+def batch_means(
+    observations: Sequence[float], n_batches: int = 20
+) -> BatchMeansEstimate:
+    """Batch-means estimate of the steady-state mean of ``observations``
+    (in temporal order).
+
+    Observations that do not fill a whole batch are dropped from the end,
+    as is conventional.  Requires at least 2 observations per batch and
+    at least 2 batches.
+    """
+    if n_batches < 2:
+        raise ValueError(f"need at least 2 batches, got {n_batches}")
+    data = np.asarray(list(observations), dtype=float)
+    if data.size < 2 * n_batches:
+        raise ValueError(
+            f"need at least {2 * n_batches} observations for "
+            f"{n_batches} batches, got {data.size}"
+        )
+    batch_size = data.size // n_batches
+    used = data[: batch_size * n_batches]
+    means = used.reshape(n_batches, batch_size).mean(axis=1)
+    grand_mean = float(means.mean())
+    std_error = float(means.std(ddof=1)) / math.sqrt(n_batches)
+    return BatchMeansEstimate(
+        mean=grand_mean,
+        half_width=t_critical_95(n_batches - 1) * std_error,
+        n_batches=n_batches,
+        batch_size=batch_size,
+        lag1_autocorrelation=lag1_autocorrelation(means),
+    )
+
+
+def waiting_time_ci(
+    records, n_batches: int = 20
+) -> BatchMeansEstimate:
+    """Batch-means CI of the mean waiting time from job records (ordered
+    by arrival, as the collector produces them)."""
+    ordered = sorted(records, key=lambda r: r.arrival_time)
+    return batch_means([r.waiting_time for r in ordered], n_batches)
+
+
+def speedup_ci(records, n_batches: int = 20) -> BatchMeansEstimate:
+    """Batch-means CI of the mean speedup from job records."""
+    ordered = sorted(records, key=lambda r: r.arrival_time)
+    return batch_means([r.speedup for r in ordered], n_batches)

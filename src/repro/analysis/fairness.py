@@ -1,0 +1,167 @@
+"""Fairness metrics over per-job records.
+
+The paper argues about fairness qualitatively ("Jobs are started in a
+first come first served order in order to ensure a fair treatment", the
+out-of-order §4.1 fairness valve, delayed scheduling's "no fairness").
+This module quantifies it, so policies can be compared on a fairness axis
+next to the throughput/latency axes:
+
+* **Jain's fairness index** over job slowdowns (1.0 = perfectly even);
+* **slowdown** (sojourn time / single-node no-cache reference) mean and
+  tail percentiles — the classic stretch metric;
+* **Gini coefficient** of waiting times (0 = equal waits);
+* **overtake count** — how many later-arriving jobs finished first, the
+  most direct measure of out-of-order-ness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..sim.metrics import JobRecord
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Fairness statistics of one simulation's measured jobs."""
+
+    n_jobs: int
+    jain_index_slowdown: float
+    mean_slowdown: float
+    median_slowdown: float
+    p95_slowdown: float
+    max_slowdown: float
+    gini_waiting: float
+    overtake_fraction: float
+    start_overtake_fraction: float
+
+    def as_rows(self) -> List[List[object]]:
+        return [
+            ["jobs", self.n_jobs],
+            ["Jain index (slowdown)", f"{self.jain_index_slowdown:.3f}"],
+            ["mean slowdown", f"{self.mean_slowdown:.3f}"],
+            ["median slowdown", f"{self.median_slowdown:.3f}"],
+            ["p95 slowdown", f"{self.p95_slowdown:.3f}"],
+            ["max slowdown", f"{self.max_slowdown:.3f}"],
+            ["Gini (waiting)", f"{self.gini_waiting:.3f}"],
+            ["overtaken arrivals (completion)", f"{self.overtake_fraction:.1%}"],
+            ["overtaken arrivals (start)", f"{self.start_overtake_fraction:.1%}"],
+        ]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n · Σx²); 1.0 = all equal.
+
+    >>> jain_index([1.0, 1.0, 1.0])
+    1.0
+    >>> round(jain_index([1.0, 0.0, 0.0]), 3)
+    0.333
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return math.nan
+    square_sum = float(np.sum(data) ** 2)
+    sum_square = float(data.size * np.sum(data**2))
+    if sum_square == 0.0:
+        return 1.0  # all zero: perfectly equal
+    return square_sum / sum_square
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient (0 = perfect equality, →1 = one job takes all).
+
+    >>> gini([1.0, 1.0, 1.0, 1.0])
+    0.0
+    """
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        return math.nan
+    total = float(np.sum(data))
+    if total == 0.0:
+        return 0.0
+    n = data.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * data)) / (n * total) - (n + 1) / n)
+
+
+def overtake_fraction(records: Sequence[JobRecord]) -> float:
+    """Fraction of job pairs (i earlier than j) *completed* out of order.
+
+    Normalised Kendall-tau-style distance between the arrival order and
+    the completion order: 0.0 for strictly FCFS completion, 0.5 for an
+    uncorrelated order.  O(n log n) via merge-sort inversion counting.
+    Note this mixes scheduling reordering with service-time variance (a
+    short job legitimately finishing before an earlier long one); for the
+    pure scheduling signal use :func:`start_overtake_fraction`.
+    """
+    return _order_distance(records, lambda r: r.completion)
+
+
+def start_overtake_fraction(records: Sequence[JobRecord]) -> float:
+    """Fraction of job pairs whose *processing start* order inverts the
+    arrival order — exactly the reordering the paper's out-of-order and
+    delayed policies introduce (a strict FCFS starter scores 0.0)."""
+    return _order_distance(records, lambda r: r.first_start)
+
+
+def _order_distance(records: Sequence[JobRecord], key) -> float:
+    ordered = sorted(records, key=lambda r: r.arrival_time)
+    values = [key(r) for r in ordered]
+    n = len(values)
+    if n < 2:
+        return 0.0
+    inversions = _count_inversions(values)
+    return inversions / (n * (n - 1) / 2)
+
+
+def _count_inversions(values: List[float]) -> int:
+    """Number of pairs (i < j) with values[i] > values[j]."""
+
+    def sort(chunk: List[float]) -> tuple:
+        if len(chunk) <= 1:
+            return chunk, 0
+        mid = len(chunk) // 2
+        left, left_inv = sort(chunk[:mid])
+        right, right_inv = sort(chunk[mid:])
+        merged: List[float] = []
+        inversions = left_inv + right_inv
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+                inversions += len(left) - i
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, inversions
+
+    return sort(list(values))[1]
+
+
+def fairness_report(records: Sequence[JobRecord]) -> FairnessReport:
+    """Compute all fairness statistics over the given records."""
+    slowdowns = np.array(
+        [r.sojourn_time / r.reference_time for r in records if r.reference_time > 0],
+        dtype=float,
+    )
+    waits = np.array([r.waiting_time for r in records], dtype=float)
+    if slowdowns.size == 0:
+        nan = math.nan
+        return FairnessReport(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    return FairnessReport(
+        n_jobs=len(records),
+        jain_index_slowdown=jain_index(slowdowns),
+        mean_slowdown=float(np.mean(slowdowns)),
+        median_slowdown=float(np.median(slowdowns)),
+        p95_slowdown=float(np.percentile(slowdowns, 95)),
+        max_slowdown=float(np.max(slowdowns)),
+        gini_waiting=gini(waits),
+        overtake_fraction=overtake_fraction(records),
+        start_overtake_fraction=start_overtake_fraction(records),
+    )

@@ -1,0 +1,104 @@
+"""Minimal ASCII line plots: figure-shaped terminal output.
+
+The paper's figures are (load → speedup) and (load → waiting time)
+curves; :func:`ascii_plot` renders the same series as a character grid so
+a terminal run of the harness shows the curve *shapes* (who wins, where
+curves cut off) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(
+    value: float, low: float, high: float, size: int, log: bool
+) -> Optional[int]:
+    if math.isnan(value):
+        return None
+    if log:
+        if value <= 0 or low <= 0:
+            return None
+        position = (math.log10(value) - math.log10(low)) / (
+            math.log10(high) - math.log10(low)
+        )
+    else:
+        position = (value - low) / (high - low)
+    if position < 0 or position > 1:
+        return None
+    return int(round(position * (size - 1)))
+
+
+def ascii_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "load (jobs/hour)",
+    y_label: str = "",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII scatter/line chart."""
+    points = [
+        (x, y)
+        for curve in series.values()
+        for x, y in curve
+        if not (math.isnan(x) or math.isnan(y))
+    ]
+    if not points:
+        return f"{title}\n(no steady-state points)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    if log_y:
+        y_low = max(y_low, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for index, (label, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {label}")
+        for x, y in curve:
+            col = _scale(x, x_low, x_high, width, log=False)
+            row = _scale(y, y_low, y_high, height, log=log_y)
+            if col is not None and row is not None:
+                grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = _fmt_axis(y_high)
+    bottom = _fmt_axis(y_low)
+    margin = max(len(top), len(bottom)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{_fmt_axis(x_low)}{' ' * max(1, width - 12)}{_fmt_axis(x_high)}"
+    lines.append(" " * (margin + 1) + x_axis)
+    caption = x_label if not y_label else f"{x_label} vs {y_label}"
+    lines.append(" " * (margin + 1) + caption)
+    lines.extend("  " + item for item in legend)
+    return "\n".join(lines)
+
+
+def _fmt_axis(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10000 or magnitude < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"

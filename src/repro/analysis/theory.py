@@ -1,0 +1,77 @@
+"""Closed-form quantities the paper derives in §3.4 and §5.
+
+These are the anchors the simulation is validated against:
+
+* single-job single-node no-cache processing time ≈ 32 000 s (9 h);
+* maximal caching speedup factor "slightly larger than 3" (3.08);
+* maximal overall speedup ≈ 30 (10 nodes × caching factor);
+* maximal theoretically sustainable load = 3.46 jobs/hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import units
+from ..sim.config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class TheoreticalLimits:
+    """The paper's closed-form performance bounds for a configuration."""
+
+    single_job_single_node_time: float
+    caching_speedup: float
+    max_parallel_speedup: float
+    max_overall_speedup: float
+    max_load_per_hour: float
+    farm_max_load_per_hour: float
+
+    def as_dict(self) -> dict:
+        return {
+            "single_job_single_node_time_s": self.single_job_single_node_time,
+            "caching_speedup": self.caching_speedup,
+            "max_parallel_speedup": self.max_parallel_speedup,
+            "max_overall_speedup": self.max_overall_speedup,
+            "max_load_per_hour": self.max_load_per_hour,
+            "farm_max_load_per_hour": self.farm_max_load_per_hour,
+        }
+
+
+def theoretical_limits(config: SimulationConfig) -> TheoreticalLimits:
+    """Compute the §3.4 bounds for ``config``.
+
+    >>> from repro.sim.config import paper_config
+    >>> limits = theoretical_limits(paper_config())
+    >>> round(limits.single_job_single_node_time)
+    32000
+    >>> round(limits.max_load_per_hour, 2)
+    3.46
+    >>> round(limits.max_overall_speedup)
+    31
+    """
+    model = config.cost_model()
+    single = config.mean_job_events * model.uncached_event_time
+    caching = model.caching_speedup
+    parallel = float(config.n_nodes)
+    # All CPUs at 100 %, data always from disk caches (§3.4): each node
+    # completes one job's events every mean_job × cached_time seconds.
+    max_load = (
+        config.n_nodes
+        * units.HOUR
+        / (config.mean_job_events * model.cached_event_time)
+    )
+    # The farm ceiling: one whole job per node, all data from tertiary.
+    farm_max = (
+        config.n_nodes
+        * units.HOUR
+        / (config.mean_job_events * model.uncached_event_time)
+    )
+    return TheoreticalLimits(
+        single_job_single_node_time=single,
+        caching_speedup=caching,
+        max_parallel_speedup=parallel,
+        max_overall_speedup=parallel * caching,
+        max_load_per_hour=max_load,
+        farm_max_load_per_hour=farm_max,
+    )

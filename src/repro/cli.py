@@ -1,0 +1,305 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands::
+
+    repro policies                      # list scheduling policies
+    repro experiments                   # list registered experiments
+    repro limits                        # print the paper's theoretical anchors
+    repro run fig3 --scale quick        # regenerate a figure
+    repro run-all --scale full -o report.md
+    repro simulate --policy out-of-order --load 1.5 --days 20
+    repro calibrate --stripe 5000       # measure the adaptive delay table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import format_table
+from .analysis.theory import theoretical_limits
+from .core import units
+from .experiments import (
+    Scale,
+    available_experiments,
+    calibrate_delay_table,
+    get_experiment,
+    render_markdown_report,
+    run_all,
+    run_experiment,
+    summarize_table,
+)
+from .sched import available_policies
+from .sim.config import paper_config
+from .sim.simulator import run_simulation
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=Scale.QUICK.value,
+        help="sweep size: smoke (seconds), quick (minutes), full (paper-faithful)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Ponce & Hersch (IPDPS 2004): data-"
+        "intensive analysis-job scheduling on PC clusters.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("policies", help="list available scheduling policies")
+    sub.add_parser("experiments", help="list registered experiments")
+    sub.add_parser("limits", help="print the theoretical performance anchors")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (e.g. fig3)")
+    _add_scale(run_parser)
+    run_parser.add_argument("--processes", type=int, default=None)
+    run_parser.add_argument("--output", "-o", default=None, help="write report here")
+
+    all_parser = sub.add_parser("run-all", help="run every experiment")
+    _add_scale(all_parser)
+    all_parser.add_argument("--processes", type=int, default=None)
+    all_parser.add_argument("--only", nargs="*", default=None, help="subset of ids")
+    all_parser.add_argument("--output", "-o", default=None)
+
+    sim_parser = sub.add_parser("simulate", help="run a single simulation")
+    sim_parser.add_argument("--policy", required=True, choices=available_policies())
+    sim_parser.add_argument("--load", type=float, default=1.0, help="jobs/hour")
+    sim_parser.add_argument("--days", type=float, default=20.0)
+    sim_parser.add_argument("--cache-gb", type=float, default=100.0)
+    sim_parser.add_argument("--nodes", type=int, default=10)
+    sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument("--period", type=float, default=None, help="seconds")
+    sim_parser.add_argument("--stripe", type=int, default=None, help="events")
+    sim_parser.add_argument(
+        "--dump-records", default=None, help="write per-job records CSV here"
+    )
+    sim_parser.add_argument(
+        "--dump-json", default=None, help="write the result summary JSON here"
+    )
+
+    exp_parser = sub.add_parser(
+        "export", help="run an experiment and write gnuplot .dat/.gp files"
+    )
+    exp_parser.add_argument("experiment", help="experiment id (e.g. fig3)")
+    _add_scale(exp_parser)
+    exp_parser.add_argument("--processes", type=int, default=None)
+    exp_parser.add_argument("--output", "-o", required=True, help="directory")
+
+    rep_parser = sub.add_parser(
+        "replicate", help="replicated runs with 95% confidence intervals"
+    )
+    rep_parser.add_argument("--policy", required=True, choices=available_policies())
+    rep_parser.add_argument("--load", type=float, default=1.0, help="jobs/hour")
+    rep_parser.add_argument("--days", type=float, default=16.0)
+    rep_parser.add_argument("--cache-gb", type=float, default=100.0)
+    rep_parser.add_argument("-n", "--replications", type=int, default=5)
+    rep_parser.add_argument("--period", type=float, default=None, help="seconds")
+    rep_parser.add_argument("--stripe", type=int, default=None, help="events")
+
+    cal_parser = sub.add_parser(
+        "calibrate", help="measure the adaptive policy's delay table"
+    )
+    cal_parser.add_argument("--stripe", type=int, default=5000)
+    cal_parser.add_argument("--days", type=float, default=30.0)
+    cal_parser.add_argument("--processes", type=int, default=None)
+
+    return parser
+
+
+def _cmd_policies() -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def _cmd_experiments() -> int:
+    rows = []
+    for exp_id in available_experiments():
+        experiment = get_experiment(exp_id)
+        rows.append([exp_id, experiment.paper_ref, experiment.title])
+    print(format_table(["id", "paper", "title"], rows))
+    return 0
+
+
+def _cmd_limits() -> int:
+    limits = theoretical_limits(paper_config())
+    rows = [[key, f"{value:.3f}"] for key, value in limits.as_dict().items()]
+    print(format_table(["quantity", "value"], rows, title="Paper configuration anchors"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    outcome = run_experiment(
+        args.experiment,
+        scale=Scale(args.scale),
+        processes=args.processes,
+        progress=True,
+    )
+    print(outcome.rendered)
+    if args.output:
+        report = render_markdown_report([outcome], Scale(args.scale))
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    outcomes = run_all(
+        scale=Scale(args.scale),
+        exp_ids=args.only,
+        processes=args.processes,
+        progress=True,
+    )
+    report = render_markdown_report(outcomes, Scale(args.scale))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = paper_config(
+        arrival_rate_per_hour=args.load,
+        duration=args.days * units.DAY,
+        cache_bytes=int(args.cache_gb * units.GB),
+        n_nodes=args.nodes,
+        seed=args.seed,
+    )
+    params = {}
+    if args.period is not None:
+        params["period"] = args.period
+    if args.stripe is not None:
+        params["stripe_events"] = args.stripe
+    result = run_simulation(config, args.policy, **params)
+    print(result.brief())
+    summary = result.measured
+    rows = [
+        ["jobs measured", summary.n_jobs],
+        ["mean speedup", f"{summary.mean_speedup:.2f}"],
+        ["mean waiting", units.fmt_duration(summary.mean_waiting)],
+        ["mean waiting (excl. delay)", units.fmt_duration(summary.mean_waiting_excl_delay)],
+        ["mean processing", units.fmt_duration(summary.mean_processing)],
+        ["p95 waiting", units.fmt_duration(summary.p95_waiting)],
+        ["node utilization", f"{result.node_utilization:.2f}"],
+        ["tertiary redundancy", f"{result.tertiary_redundancy:.2f}"],
+        ["cache hit fraction", f"{result.cache_hit_fraction():.2f}"],
+        ["overloaded", result.overload.overloaded],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if args.dump_records:
+        from .sim.export import write_records_csv
+
+        count = write_records_csv(args.dump_records, result.records)
+        print(f"wrote {count} job records to {args.dump_records}")
+    if args.dump_json:
+        from .sim.export import write_result_json
+
+        write_result_json(args.dump_json, result)
+        print(f"wrote result summary to {args.dump_json}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .experiments.gnuplot import export_sweep
+    from .sim.runner import run_sweep
+
+    experiment = get_experiment(args.experiment)
+    sweep = run_sweep(
+        experiment.specs(Scale(args.scale)),
+        processes=args.processes,
+        progress=True,
+    )
+    wait_metric = (
+        "waiting_excl_delay" if args.experiment in ("fig5", "fig6") else "waiting"
+    )
+    script = export_sweep(
+        sweep, args.output, title=args.experiment, wait_metric=wait_metric
+    )
+    print(f"gnuplot data and script written to {script.parent}")
+    print(f"render with: cd {script.parent} && gnuplot {script.name}")
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from .sim.replications import run_replications
+
+    config = paper_config(
+        arrival_rate_per_hour=args.load,
+        duration=args.days * units.DAY,
+        cache_bytes=int(args.cache_gb * units.GB),
+    )
+    params = {}
+    if args.period is not None:
+        params["period"] = args.period
+    if args.stripe is not None:
+        params["stripe_events"] = args.stripe
+    replicated = run_replications(
+        config, args.policy, n_replications=args.replications, **params
+    )
+    rows = [
+        [name, str(estimate)]
+        for name, estimate in replicated.estimates.items()
+    ]
+    print(
+        format_table(
+            ["metric", "mean ± 95% CI"],
+            rows,
+            title=f"{args.policy} @ {args.load} jobs/h — "
+            f"{replicated.n} replications",
+        )
+    )
+    if replicated.any_overloaded:
+        print(
+            "\nNOTE: at least one replication left steady state; treat the "
+            "averages with care."
+        )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    config = paper_config(duration=args.days * units.DAY)
+    table = calibrate_delay_table(
+        config, stripe_events=args.stripe, processes=args.processes
+    )
+    print(summarize_table(table))
+    print("\nPython literal for AdaptiveDelayPolicy(delay_table=...):")
+    print(repr(table))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "policies":
+        return _cmd_policies()
+    if args.command == "experiments":
+        return _cmd_experiments()
+    if args.command == "limits":
+        return _cmd_limits()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "run-all":
+        return _cmd_run_all(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "replicate":
+        return _cmd_replicate(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Cluster substrates: cost model, data-access planning, nodes, cluster."""
+
+from .access import (
+    CachingPlanner,
+    ContentionRemoteReadPlanner,
+    ChunkPlan,
+    DataAccessPlanner,
+    NoCachePlanner,
+    RemoteAccessCounter,
+    RemoteReadPlanner,
+    ReplicationStats,
+)
+from .cluster import Cluster
+from .costmodel import CostModel, DataSource
+from .node import Node, NodeStats
+
+__all__ = [
+    "CostModel",
+    "DataSource",
+    "DataAccessPlanner",
+    "NoCachePlanner",
+    "CachingPlanner",
+    "RemoteReadPlanner",
+    "ContentionRemoteReadPlanner",
+    "RemoteAccessCounter",
+    "ReplicationStats",
+    "ChunkPlan",
+    "Node",
+    "NodeStats",
+    "Cluster",
+]

@@ -1,0 +1,255 @@
+"""Processing nodes: single-CPU executors with chunked, preemptible
+subjob execution.
+
+A node runs at most one subjob at a time (§2.4: "we only run a single job
+or subjob per processor at any given time").  Execution is *chunked*: the
+node asks its :class:`~repro.cluster.access.DataAccessPlanner` for the next
+uniform-rate run of events, schedules one engine event at the chunk's
+completion time, and repeats.  Preemption between events is exact: an
+interrupted chunk credits the whole events finished so far and re-queues
+the rest (the in-flight fractional event is re-processed later, matching
+the paper's event-atomic processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..core.engine import Engine
+from ..core.errors import SchedulingError
+from ..core.events import EventPriority, ScheduledEvent
+from ..data.cache import LRUSegmentCache
+from ..workload.jobs import Subjob, SubjobState
+from .access import ChunkPlan, DataAccessPlanner
+from .costmodel import CostModel, DataSource
+
+#: Tolerance for float round-off when counting whole events in an elapsed
+#: chunk time (an event is counted as done if at least 1 - 1e-9 of it ran).
+_EVENT_EPSILON = 1e-9
+
+
+@dataclass
+class NodeStats:
+    """Per-node lifetime counters."""
+
+    busy_seconds: float = 0.0
+    events_processed: int = 0
+    events_by_source: Dict[DataSource, int] = field(
+        default_factory=lambda: {source: 0 for source in DataSource}
+    )
+    chunks_started: int = 0
+    preemptions: int = 0
+    subjobs_completed: int = 0
+
+    def utilization(self, elapsed: float) -> float:
+        return 0.0 if elapsed <= 0 else self.busy_seconds / elapsed
+
+
+class _RunningChunk:
+    __slots__ = (
+        "plan",
+        "per_event_time",
+        "setup_latency",
+        "started_at",
+        "completion_event",
+    )
+
+    def __init__(
+        self,
+        plan: ChunkPlan,
+        per_event_time: float,
+        setup_latency: float,
+        started_at: float,
+        completion_event: ScheduledEvent,
+    ) -> None:
+        self.plan = plan
+        self.per_event_time = per_event_time
+        self.setup_latency = setup_latency
+        self.started_at = started_at
+        self.completion_event = completion_event
+
+
+class Node:
+    """One processing node: CPU + disk cache + a data-access planner.
+
+    The scheduler-facing API is three calls:
+
+    * :meth:`start` — begin/resume a subjob (node must be idle);
+    * :meth:`preempt` — suspend the running subjob between events;
+    * :attr:`on_subjob_complete` — callback fired when a subjob's last
+      event finishes (installed by the simulator; handlers must check
+      :attr:`busy`, since completions triggered from within a preemption
+      are notified via a zero-delay event).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        engine: Engine,
+        cache: LRUSegmentCache,
+        cost_model: CostModel,
+        planner: DataAccessPlanner,
+        chunk_events: int = 2000,
+        speed_factor: float = 1.0,
+    ) -> None:
+        if chunk_events < 1:
+            raise SchedulingError(f"chunk_events must be >= 1, got {chunk_events}")
+        if speed_factor <= 0:
+            raise SchedulingError(f"speed_factor must be > 0, got {speed_factor}")
+        self.node_id = node_id
+        self.engine = engine
+        self.cache = cache
+        self.cost_model = cost_model
+        self.planner = planner
+        self.chunk_events = chunk_events
+        self.speed_factor = speed_factor
+        self.stats = NodeStats()
+        self.current: Optional[Subjob] = None
+        self._chunk: Optional[_RunningChunk] = None
+        #: Installed by the simulator: ``callback(node, subjob)``.
+        self.on_subjob_complete: Optional[Callable[["Node", Subjob], None]] = None
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None
+
+    def current_source(self) -> Optional[DataSource]:
+        """Data source of the in-flight chunk (None when idle)."""
+        return self._chunk.plan.source if self._chunk else None
+
+    # -- control ----------------------------------------------------------------
+
+    def start(self, subjob: Subjob) -> None:
+        """Begin or resume ``subjob`` on this node."""
+        if self.busy:
+            raise SchedulingError(
+                f"node {self.node_id} is busy with {self.current!r}"
+            )
+        if subjob.state not in (SubjobState.PENDING, SubjobState.SUSPENDED):
+            raise SchedulingError(
+                f"cannot start subjob {subjob.sid} in state {subjob.state}"
+            )
+        if subjob.remaining_events == 0:
+            raise SchedulingError(f"subjob {subjob.sid} has no remaining work")
+        subjob.state = SubjobState.RUNNING
+        subjob.node = self
+        self.current = subjob
+        subjob.job.mark_started(self.engine.now)
+        self._begin_next_chunk()
+
+    def preempt(self) -> Optional[Subjob]:
+        """Suspend the running subjob between events.
+
+        Returns the suspended subjob, or ``None`` if the node was idle or
+        the subjob turned out to have just finished (its completion
+        callback is then delivered through a zero-delay event).
+        """
+        subjob = self.current
+        if subjob is None:
+            return None
+        chunk = self._chunk
+        assert chunk is not None
+        self.engine.cancel(chunk.completion_event)
+        elapsed = self.engine.now - chunk.started_at
+        productive = max(0.0, elapsed - chunk.setup_latency)
+        events_done = int(productive / chunk.per_event_time + _EVENT_EPSILON)
+        events_done = min(events_done, chunk.plan.interval.length)
+        self._account_chunk(chunk, events_done, min(elapsed, chunk.setup_latency))
+        self._chunk = None
+        self.current = None
+        self.stats.preemptions += 1
+        if subjob.remaining_events == 0:
+            # Preempted exactly at completion: it is in fact done.
+            self._finish_subjob(subjob, deferred=True)
+            return None
+        subjob.state = SubjobState.SUSPENDED
+        subjob.node = None
+        return subjob
+
+    # -- internals ----------------------------------------------------------------
+
+    def _begin_next_chunk(self) -> None:
+        subjob = self.current
+        assert subjob is not None
+        remaining = subjob.remaining
+        assert not remaining.empty
+        plan = self.planner.plan_chunk(self, remaining, self.chunk_events)
+        if plan.interval.empty or plan.interval.start != remaining.start:
+            raise SchedulingError(
+                f"planner returned bad chunk {plan.interval} for {remaining}"
+            )
+        per_event = (
+            self.cost_model.event_time(plan.source, self.speed_factor)
+            * plan.rate_factor
+        )
+        setup = self.cost_model.setup_latency(plan.source) * self.speed_factor
+        duration = setup + plan.interval.length * per_event
+        self.planner.on_chunk_started(self, plan)
+        completion = self.engine.call_after(
+            duration,
+            self._on_chunk_complete,
+            priority=EventPriority.COMPLETION,
+            label=f"chunk:{subjob.sid}@{self.node_id}",
+        )
+        self._chunk = _RunningChunk(
+            plan, per_event, setup, self.engine.now, completion
+        )
+        self.stats.chunks_started += 1
+
+    def _on_chunk_complete(self) -> None:
+        subjob = self.current
+        chunk = self._chunk
+        assert subjob is not None and chunk is not None
+        self._account_chunk(chunk, chunk.plan.interval.length, chunk.setup_latency)
+        self._chunk = None
+        if subjob.remaining_events == 0:
+            self.current = None
+            self._finish_subjob(subjob, deferred=False)
+        else:
+            self._begin_next_chunk()
+
+    def _account_chunk(
+        self, chunk: _RunningChunk, events_done: int, setup_spent: float = 0.0
+    ) -> None:
+        """Credit ``events_done`` whole events of the chunk (plus any
+        setup latency actually paid)."""
+        subjob = self.current
+        assert subjob is not None
+        processed = chunk.plan.interval.take_left(events_done)
+        self.planner.on_chunk_processed(self, chunk.plan, processed)
+        self.planner.on_chunk_finished(self, chunk.plan)
+        subjob.advance(events_done)
+        self.stats.busy_seconds += events_done * chunk.per_event_time + setup_spent
+        self.stats.events_processed += events_done
+        self.stats.events_by_source[chunk.plan.source] += events_done
+
+    def _finish_subjob(self, subjob: Subjob, deferred: bool) -> None:
+        subjob.state = SubjobState.DONE
+        subjob.node = None
+        self.stats.subjobs_completed += 1
+        if self.on_subjob_complete is None:
+            return
+        if deferred:
+            # Notify through the calendar so the preempting scheduler's
+            # handler finishes before the completion handler runs.
+            self.engine.call_after(
+                0.0,
+                self.on_subjob_complete,
+                self,
+                subjob,
+                priority=EventPriority.COMPLETION,
+                label=f"done:{subjob.sid}",
+            )
+        else:
+            self.on_subjob_complete(self, subjob)
+
+    def __repr__(self) -> str:
+        state = f"running {self.current.sid}" if self.current else "idle"
+        return f"Node(#{self.node_id}, {state}, cache={self.cache.used_events}ev)"

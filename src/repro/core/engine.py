@@ -1,0 +1,185 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small, fast, callback-based engine:
+
+* a binary heap orders events by ``(time, priority, sequence)``;
+* cancellation is lazy (events carry a flag; the dispatcher skips dead
+  entries), so cancelling is O(1) and preemption-heavy policies stay cheap;
+* ties at the same timestamp dispatch in a documented order
+  (:class:`~repro.core.events.EventPriority`), making every simulation
+  fully deterministic for a given seed.
+
+The paper's simulator only models data transfers, never inter-node
+messages, so process-style coroutines (à la simpy) would buy nothing here;
+plain callbacks keep the hot loop allocation-free and ~5x faster in
+profiling runs on this workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .errors import EngineError
+from .events import EngineStats, EventPriority, ScheduledEvent
+
+
+class Engine:
+    """The simulation clock and event calendar.
+
+    >>> eng = Engine()
+    >>> out = []
+    >>> _ = eng.call_at(2.0, out.append, "b")
+    >>> _ = eng.call_at(1.0, out.append, "a")
+    >>> eng.run()
+    >>> out
+    ['a', 'b']
+    >>> eng.now
+    2.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.stats = EngineStats()
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        """Number of events still in the calendar (including cancelled)."""
+        return len(self._heap)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = EventPriority.TIMER,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute time ``time``.
+
+        Returns a handle whose :meth:`~ScheduledEvent.cancel` removes it.
+        Scheduling in the past raises :class:`EngineError`; scheduling *at*
+        the current instant is allowed (the event runs in this dispatch
+        round, after already-queued events of lower ``(priority, seq)``).
+        """
+        if time < self._now:
+            raise EngineError(
+                f"cannot schedule at t={time:.6f} < now={self._now:.6f}"
+            )
+        if callback is None:
+            raise EngineError("callback must not be None")
+        event = ScheduledEvent(
+            time=float(time),
+            priority=int(priority),
+            seq=self._seq,
+            callback=callback,
+            args=args,
+            label=label,
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self.stats.scheduled += 1
+        if len(self._heap) > self.stats.max_queue:
+            self.stats.max_queue = len(self._heap)
+        return event
+
+    def call_after(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = EventPriority.TIMER,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise EngineError(f"negative delay {delay!r}")
+        return self.call_at(
+            self._now + delay, callback, *args, priority=priority, label=label
+        )
+
+    def cancel(self, event: Optional[ScheduledEvent]) -> None:
+        """Cancel a previously scheduled event (no-op on ``None``)."""
+        if event is not None and not event.cancelled:
+            event.cancel()
+            self.stats.cancelled += 1
+
+    # -- execution -------------------------------------------------------------
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next active event, or ``None`` if the calendar is
+        empty."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Dispatch the single next active event.
+
+        Returns ``False`` when the calendar is empty.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self.stats.dispatched += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar drains or the clock would pass ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        on return (even if the last event fired earlier), so back-to-back
+        ``run(until=...)`` calls compose naturally.
+        """
+        if self._running:
+            raise EngineError("engine is already running (reentrant run())")
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        try:
+            while heap and not self._stopped:
+                event = heap[0]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(heap)
+                self._now = event.time
+                self.stats.dispatched += 1
+                event.callback(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+    def stop(self) -> None:
+        """Request :meth:`run` to return after the current callback."""
+        self._stopped = True
+
+    # -- internals --------------------------------------------------------------
+
+    def _drop_cancelled_head(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Engine(now={self._now:.3f}, pending={len(self._heap)}, "
+            f"dispatched={self.stats.dispatched})"
+        )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the simulator can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation configuration is inconsistent or out of range."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy violated an invariant (e.g. double-started a
+    subjob, released a job's last node, or scheduled work on a busy node)."""
+
+
+class EngineError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. scheduling an
+    event in the past, or running a finished engine)."""
+
+
+class CacheError(ReproError):
+    """A disk-cache operation violated an invariant (e.g. inserting an
+    extent larger than the cache capacity)."""
+
+
+class IntervalError(ReproError):
+    """An interval operation received malformed bounds."""
+
+
+class WorkloadError(ReproError):
+    """A workload description or trace is malformed."""
+
+
+class OverloadedError(ReproError):
+    """Raised by strict analyses when asked for steady-state statistics of
+    a simulation that left steady state (queues growing without bound)."""

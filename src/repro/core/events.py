@@ -1,0 +1,86 @@
+"""Event records for the discrete-event engine.
+
+The engine dispatches :class:`ScheduledEvent` s in ``(time, priority,
+sequence)`` order.  Priorities give deterministic, documented ordering to
+simultaneous events: e.g. a subjob completion at time *t* must be processed
+before a job arrival at the same instant, so that the freed node is visible
+to the arrival logic — matching the paper's sequential master-node
+scheduler, which handles one notification at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+
+class EventPriority(enum.IntEnum):
+    """Dispatch order for simultaneous events (lower runs first)."""
+
+    #: Completion of a chunk / subjob — frees resources first.
+    COMPLETION = 0
+    #: Period boundaries of the delayed scheduler.
+    PERIOD = 10
+    #: New job arrivals.
+    ARRIVAL = 20
+    #: Fairness timeouts, load-estimator updates and other housekeeping.
+    TIMER = 30
+    #: Metric sampling probes — observe the state everyone else produced.
+    PROBE = 40
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the engine's calendar.
+
+    Instances are ordered by ``(time, priority, seq)``; the payload fields
+    are excluded from comparisons.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it (O(1), lazy deletion)."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+
+#: Convenient alias used in type hints of schedulers.
+EventHandle = ScheduledEvent
+
+
+@dataclass
+class EngineStats:
+    """Counters describing an engine run, useful for perf regressions."""
+
+    dispatched: int = 0
+    scheduled: int = 0
+    cancelled: int = 0
+    max_queue: int = 0
+
+    def snapshot(self) -> "EngineStats":
+        return EngineStats(
+            dispatched=self.dispatched,
+            scheduled=self.scheduled,
+            cancelled=self.cancelled,
+            max_queue=self.max_queue,
+        )
+
+
+def describe_event(event: Optional[ScheduledEvent]) -> str:
+    """Human-readable one-liner for logging/debugging."""
+    if event is None:
+        return "<none>"
+    state = "cancelled" if event.cancelled else "active"
+    label = event.label or getattr(event.callback, "__name__", "?")
+    return f"<event t={event.time:.3f} prio={event.priority} {label} ({state})>"

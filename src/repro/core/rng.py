@@ -1,0 +1,65 @@
+"""Deterministic, component-named random-number streams.
+
+Reproducibility discipline: a single root seed fans out into independent
+named streams (one per stochastic component: arrivals, job sizes, start
+points, policy tie-breaking, ...).  Adding a new consumer never perturbs
+the draws seen by existing consumers, because each stream is derived from
+``(root seed, stream name)`` rather than from a shared sequential state.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of independent named :class:`numpy.random.Generator` s.
+
+    >>> streams = RandomStreams(42)
+    >>> arrivals = streams.get("arrivals")
+    >>> sizes = streams.get("sizes")
+    >>> arrivals is streams.get("arrivals")
+    True
+
+    The stream for a given ``(seed, name)`` pair is identical across runs,
+    platforms and numpy versions that share the Philox bit-stream.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this factory was built from."""
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the (memoised) generator for stream ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = self._make(name)
+            self._streams[name] = gen
+        return gen
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Derive a child factory, e.g. one per simulation replication."""
+        return RandomStreams(self._derive_key(name))
+
+    # -- internals ---------------------------------------------------------
+
+    def _derive_key(self, name: str) -> int:
+        # crc32 is stable across Python versions (unlike hash()).
+        return (self._seed << 32) ^ zlib.crc32(name.encode("utf-8"))
+
+    def _make(self, name: str) -> np.random.Generator:
+        seq = np.random.SeedSequence(
+            entropy=self._seed, spawn_key=(zlib.crc32(name.encode("utf-8")),)
+        )
+        return np.random.Generator(np.random.Philox(seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomStreams(seed={self._seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,121 @@
+"""Units and constants used throughout the simulator.
+
+All simulation times are in **seconds** (floats) and all data sizes in
+**bytes** (ints).  This module centralises the conversion helpers so that
+configuration files, policies and reports can speak in natural units
+(hours, days, GB, events) without scattering magic numbers.
+"""
+
+from __future__ import annotations
+
+# --- data sizes -----------------------------------------------------------
+
+#: One kilobyte.  The paper uses SI-style decimal units throughout
+#: (600 KB events, 2 TB data space, 10 MB/s disks), so we do too.
+KB: int = 1_000
+MB: int = 1_000_000
+GB: int = 1_000_000_000
+TB: int = 1_000_000_000_000
+
+# --- times ----------------------------------------------------------------
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3_600.0
+DAY: float = 86_400.0
+WEEK: float = 7 * DAY
+
+
+def hours(x: float) -> float:
+    """Convert hours to seconds."""
+    return x * HOUR
+
+
+def days(x: float) -> float:
+    """Convert days to seconds."""
+    return x * DAY
+
+
+def per_hour(rate: float) -> float:
+    """Convert a rate expressed per hour into a rate per second."""
+    return rate / HOUR
+
+
+def fmt_duration(seconds: float) -> str:
+    """Format a duration for human-readable reports.
+
+    Picks the largest natural unit, mirroring the axis labels of the
+    paper's figures (``1 s``, ``1 mn``, ``1 h``, ``1 day``, ``1 week``).
+
+    >>> fmt_duration(90)
+    '1.5mn'
+    >>> fmt_duration(7200)
+    '2h'
+    """
+    if seconds != seconds:  # NaN
+        return "n/a"
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    for limit, unit, name in (
+        (MINUTE, SECOND, "s"),
+        (HOUR, MINUTE, "mn"),
+        (DAY, HOUR, "h"),
+        (WEEK, DAY, "day"),
+        (float("inf"), WEEK, "week"),
+    ):
+        if seconds < limit:
+            value = seconds / unit
+            text = f"{value:.3g}"
+            return f"{text}{name}"
+    raise AssertionError("unreachable")
+
+
+def fmt_size(nbytes: float) -> str:
+    """Format a byte count using decimal units.
+
+    >>> fmt_size(600_000)
+    '600KB'
+    """
+    for limit, unit, name in (
+        (KB, 1, "B"),
+        (MB, KB, "KB"),
+        (GB, MB, "MB"),
+        (TB, GB, "GB"),
+        (float("inf"), TB, "TB"),
+    ):
+        if nbytes < limit:
+            value = nbytes / unit
+            text = f"{value:.4g}"
+            return f"{text}{name}"
+    raise AssertionError("unreachable")
+
+
+def parse_duration(text: str) -> float:
+    """Parse a compact duration string into seconds.
+
+    Accepts the suffixes ``s``, ``mn``/``min``/``m``, ``h``, ``d``/``day``/
+    ``days``, ``w``/``week``/``weeks``.  A bare number is read as seconds.
+
+    >>> parse_duration('11h')
+    39600.0
+    >>> parse_duration('2 days')
+    172800.0
+    """
+    text = text.strip().lower().replace(" ", "")
+    suffixes = (
+        ("weeks", WEEK),
+        ("week", WEEK),
+        ("days", DAY),
+        ("day", DAY),
+        ("min", MINUTE),
+        ("mn", MINUTE),
+        ("w", WEEK),
+        ("d", DAY),
+        ("h", HOUR),
+        ("m", MINUTE),
+        ("s", SECOND),
+    )
+    for suffix, unit in suffixes:
+        if text.endswith(suffix):
+            return float(text[: -len(suffix)]) * unit
+    return float(text)

@@ -1,0 +1,19 @@
+"""Data substrates: extent algebra, data space, disk caches, tertiary
+storage accounting."""
+
+from .cache import CacheStats, LRUSegmentCache
+from .dataspace import DataSpace
+from .intervals import Interval, IntervalSet, complement, partition_by
+from .tertiary import TertiaryStats, TertiaryStorage
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "complement",
+    "partition_by",
+    "DataSpace",
+    "LRUSegmentCache",
+    "CacheStats",
+    "TertiaryStorage",
+    "TertiaryStats",
+]

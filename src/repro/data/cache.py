@@ -1,0 +1,345 @@
+"""Per-node LRU disk caches at data-segment (extent) granularity.
+
+The paper's cache-aware policies all rest on one primitive: "which parts of
+this job's data segment are currently on node *n*'s disk?".
+:class:`LRUSegmentCache` answers that in O(log n) and maintains
+least-recently-used eviction over variable-length extents, as prescribed in
+Table 2 of the paper ("when needing new disk cache space, it deallocates
+the least recently used cached segments").
+
+Extents are half-open event ranges.  Touching or inserting a sub-range of
+an existing extent splits it, so LRU timestamps stay exact at arbitrary
+granularity.  Adjacent extents with identical timestamps are coalesced to
+bound fragmentation (chunked streaming would otherwise grow the extent
+count linearly with simulated time).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import CacheError
+from .intervals import Interval, IntervalSet
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one cache instance (events, not bytes)."""
+
+    inserted_events: int = 0
+    evicted_events: int = 0
+    touched_events: int = 0
+    dropped_events: int = 0  # explicitly invalidated
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(
+            self.inserted_events,
+            self.evicted_events,
+            self.touched_events,
+            self.dropped_events,
+        )
+
+
+class _Extent:
+    __slots__ = ("interval", "last_access", "alive")
+
+    def __init__(self, interval: Interval, last_access: float) -> None:
+        self.interval = interval
+        self.last_access = last_access
+        self.alive = True
+
+
+class LRUSegmentCache:
+    """An LRU cache over event extents with a fixed capacity in events.
+
+    >>> cache = LRUSegmentCache(capacity_events=100)
+    >>> cache.insert(Interval(0, 60), now=1.0)
+    >>> cache.insert(Interval(200, 260), now=2.0)
+    >>> cache.used_events
+    100
+    >>> cache.coverage.pairs()  # 20 LRU events of [0,60) were evicted
+    [(20, 60), (200, 260)]
+    """
+
+    def __init__(self, capacity_events: int) -> None:
+        if capacity_events < 0:
+            raise CacheError(f"capacity must be >= 0, got {capacity_events}")
+        self.capacity_events = int(capacity_events)
+        self._extents: Dict[int, _Extent] = {}
+        self._starts: List[int] = []  # sorted extent start points
+        self._ids_by_start: Dict[int, int] = {}  # start -> extent id
+        self._lru_heap: List[Tuple[float, int, int]] = []  # (last_access, tiebreak, id)
+        self._used = 0
+        self._next_id = 0
+        self._tiebreak = 0
+        self.stats = CacheStats()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def used_events(self) -> int:
+        """Number of events currently cached."""
+        return self._used
+
+    @property
+    def free_events(self) -> int:
+        return self.capacity_events - self._used
+
+    @property
+    def coverage(self) -> IntervalSet:
+        """The cached point set (merged extents, timestamps ignored)."""
+        merged = IntervalSet()
+        for start in self._starts:
+            merged.add(self._extents[self._ids_by_start[start]].interval)
+        return merged
+
+    def cached_parts(self, interval: Interval) -> IntervalSet:
+        """Sub-ranges of ``interval`` present in the cache."""
+        result = IntervalSet()
+        for extent in self._overlapping(interval):
+            result.add(extent.interval.intersection(interval))
+        return result
+
+    def cached_events(self, interval: Interval) -> int:
+        """Number of events of ``interval`` present in the cache."""
+        total = 0
+        for extent in self._overlapping(interval):
+            total += extent.interval.intersection(interval).length
+        return total
+
+    def covers(self, interval: Interval) -> bool:
+        """True if every event of ``interval`` is cached."""
+        return self.cached_events(interval) == interval.length
+
+    def contains_point(self, point: int) -> bool:
+        index = bisect_right(self._starts, point) - 1
+        if index < 0:
+            return False
+        extent = self._extents[self._ids_by_start[self._starts[index]]]
+        return extent.interval.contains(point)
+
+    def cached_prefix(self, interval: Interval) -> Interval:
+        """The longest cached run starting exactly at ``interval.start``.
+
+        Returns an empty interval when the first event is not cached.  This
+        is the hot query of chunked execution: a node processing left to
+        right asks "how far can I read from disk before hitting a miss?".
+        """
+        if interval.empty:
+            return Interval(interval.start, interval.start)
+        end = interval.start
+        index = bisect_right(self._starts, end) - 1
+        # Walk right over contiguous extents (they may abut without merging
+        # when their timestamps differ).
+        while True:
+            extent: Optional[_Extent] = None
+            if 0 <= index < len(self._starts):
+                candidate = self._extents[self._ids_by_start[self._starts[index]]]
+                if candidate.interval.contains(end):
+                    extent = candidate
+            if extent is None and index + 1 < len(self._starts):
+                candidate = self._extents[self._ids_by_start[self._starts[index + 1]]]
+                if candidate.interval.start == end:
+                    extent = candidate
+                    index += 1
+            if extent is None:
+                break
+            end = extent.interval.end
+            if end >= interval.end:
+                end = interval.end
+                break
+        return Interval(interval.start, min(end, interval.end))
+
+    def uncached_prefix(self, interval: Interval) -> Interval:
+        """The longest run starting at ``interval.start`` with no cached
+        event."""
+        if interval.empty:
+            return Interval(interval.start, interval.start)
+        end = interval.end
+        for extent in self._overlapping(interval):
+            if extent.interval.start <= interval.start:
+                return Interval(interval.start, interval.start)
+            end = min(end, extent.interval.start)
+            break  # extents are start-sorted: first overlap bounds prefix
+        return Interval(interval.start, end)
+
+    def extent_count(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self) -> Iterator[Tuple[Interval, float]]:
+        for start in self._starts:
+            extent = self._extents[self._ids_by_start[start]]
+            yield extent.interval, extent.last_access
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, interval: Interval, now: float) -> None:
+        """Cache ``interval`` with access time ``now``, evicting LRU data.
+
+        Intervals longer than the capacity keep only their rightmost
+        ``capacity`` events — exactly what sequential streaming through a
+        full cache leaves behind.
+        """
+        if interval.empty or self.capacity_events == 0:
+            return
+        if interval.length > self.capacity_events:
+            interval = Interval(interval.end - self.capacity_events, interval.end)
+        self.stats.inserted_events += interval.length
+        self._carve(interval)
+        self._add_extent(interval, now)
+        self._evict_to_fit(protect=interval)
+
+    def touch(self, interval: Interval, now: float) -> None:
+        """Refresh the LRU timestamp of the cached parts of ``interval``."""
+        parts = self.cached_parts(interval)
+        for part in parts:
+            self.stats.touched_events += part.length
+            self._carve(part)
+            self._add_extent(part, now)
+
+    def invalidate(self, interval: Interval) -> int:
+        """Drop any cached events inside ``interval``; returns count."""
+        before = self._used
+        self._carve(interval)
+        dropped = before - self._used
+        self.stats.dropped_events += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self._extents.clear()
+        self._starts.clear()
+        self._ids_by_start.clear()
+        self._lru_heap.clear()
+        self._used = 0
+
+    # -- internals ---------------------------------------------------------------
+
+    def _overlapping(self, interval: Interval) -> List[_Extent]:
+        """Extents intersecting ``interval``, in start order."""
+        if interval.empty or not self._starts:
+            return []
+        result: List[_Extent] = []
+        index = bisect_right(self._starts, interval.start) - 1
+        if index < 0:
+            index = 0
+        while index < len(self._starts):
+            start = self._starts[index]
+            if start >= interval.end:
+                break
+            extent = self._extents[self._ids_by_start[start]]
+            if extent.interval.overlaps(interval):
+                result.append(extent)
+            index += 1
+        return result
+
+    def _carve(self, interval: Interval) -> None:
+        """Remove every cached event inside ``interval`` (splitting
+        boundary extents, preserving their timestamps)."""
+        for extent in self._overlapping(interval):
+            self._drop_extent(extent)
+            for piece in extent.interval.subtract(interval):
+                self._add_extent(piece, extent.last_access, count_stats=False)
+
+    def _add_extent(self, interval: Interval, last_access: float, count_stats: bool = True) -> None:
+        if interval.empty:
+            return
+        # Coalesce with an identically-stamped neighbour on each side.
+        interval = self._try_merge(interval, last_access)
+        extent = _Extent(interval, last_access)
+        extent_id = self._next_id
+        self._next_id += 1
+        self._extents[extent_id] = extent
+        insort(self._starts, interval.start)
+        self._ids_by_start[interval.start] = extent_id
+        self._tiebreak += 1
+        heapq.heappush(self._lru_heap, (last_access, self._tiebreak, extent_id))
+        self._used += interval.length
+
+    def _try_merge(self, interval: Interval, last_access: float) -> Interval:
+        """Absorb abutting extents with the same timestamp into
+        ``interval`` (removing them); returns the widened interval."""
+        changed = True
+        while changed:
+            changed = False
+            index = bisect_left(self._starts, interval.end)
+            if index < len(self._starts) and self._starts[index] == interval.end:
+                right = self._extents[self._ids_by_start[self._starts[index]]]
+                if right.last_access == last_access:
+                    self._drop_extent(right)
+                    interval = Interval(interval.start, right.interval.end)
+                    changed = True
+            index = bisect_left(self._starts, interval.start) - 1
+            if index >= 0:
+                left = self._extents[self._ids_by_start[self._starts[index]]]
+                if left.interval.end == interval.start and left.last_access == last_access:
+                    self._drop_extent(left)
+                    interval = Interval(left.interval.start, interval.end)
+                    changed = True
+        return interval
+
+    def _drop_extent(self, extent: _Extent) -> None:
+        start = extent.interval.start
+        extent_id = self._ids_by_start.pop(start)
+        del self._extents[extent_id]
+        index = bisect_left(self._starts, start)
+        assert self._starts[index] == start
+        del self._starts[index]
+        extent.alive = False
+        self._used -= extent.interval.length
+
+    def _evict_to_fit(self, protect: Interval) -> None:
+        """Evict LRU extents until within capacity, never touching the
+        freshly inserted ``protect`` range."""
+        stash: List[Tuple[float, int, int]] = []
+        while self._used > self.capacity_events:
+            if not self._lru_heap:
+                raise CacheError("cache accounting corrupt: over capacity with empty LRU")
+            entry = heapq.heappop(self._lru_heap)
+            extent = self._extents.get(entry[2])
+            if extent is None or not extent.alive:
+                continue  # stale heap entry (lazy deletion)
+            if extent.interval.overlaps(protect):
+                stash.append(entry)
+                continue
+            excess = self._used - self.capacity_events
+            if extent.interval.length > excess:
+                # Partial eviction: keep the rightmost part (the part a
+                # sequential reader touched last).
+                keep = Interval(extent.interval.start + excess, extent.interval.end)
+                stamp = extent.last_access
+                self._drop_extent(extent)
+                self.stats.evicted_events += excess
+                self._add_extent(keep, stamp, count_stats=False)
+            else:
+                self.stats.evicted_events += extent.interval.length
+                self._drop_extent(extent)
+        for entry in stash:
+            heapq.heappush(self._lru_heap, entry)
+
+    # -- validation ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (tests / debug builds)."""
+        if self._used > self.capacity_events:
+            raise CacheError(f"used {self._used} > capacity {self.capacity_events}")
+        total = 0
+        previous_end = None
+        for start in self._starts:
+            extent = self._extents[self._ids_by_start[start]]
+            if extent.interval.start != start:
+                raise CacheError("start index out of sync")
+            if previous_end is not None and extent.interval.start < previous_end:
+                raise CacheError("extents overlap")
+            previous_end = extent.interval.end
+            total += extent.interval.length
+        if total != self._used:
+            raise CacheError(f"used counter {self._used} != measured {total}")
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUSegmentCache(used={self._used}/{self.capacity_events} events, "
+            f"extents={len(self._extents)})"
+        )

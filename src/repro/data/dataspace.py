@@ -1,0 +1,81 @@
+"""The global event data space.
+
+The paper models a 2 TB data space of 600 KB particle-collision events.
+:class:`DataSpace` owns the event-index ↔ byte conversions and the bounds
+every segment must respect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from ..core import units
+from .intervals import Interval
+
+
+@dataclass(frozen=True)
+class DataSpace:
+    """A linear space of equally-sized collision events.
+
+    >>> space = DataSpace.from_bytes(units.TB * 2, 600 * units.KB)
+    >>> space.total_events
+    3333333
+    >>> space.events_to_bytes(1)
+    600000
+    """
+
+    total_events: int
+    event_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.total_events <= 0:
+            raise ConfigurationError(f"total_events must be > 0, got {self.total_events}")
+        if self.event_bytes <= 0:
+            raise ConfigurationError(f"event_bytes must be > 0, got {self.event_bytes}")
+
+    @classmethod
+    def from_bytes(cls, total_bytes: int, event_bytes: int) -> "DataSpace":
+        """Build a space holding as many whole events as fit in
+        ``total_bytes``."""
+        if event_bytes <= 0:
+            raise ConfigurationError(f"event_bytes must be > 0, got {event_bytes}")
+        return cls(total_events=int(total_bytes // event_bytes), event_bytes=int(event_bytes))
+
+    # -- conversions ---------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_events * self.event_bytes
+
+    def events_to_bytes(self, events: int) -> int:
+        return int(events) * self.event_bytes
+
+    def bytes_to_events(self, nbytes: float) -> int:
+        """Whole events fitting in ``nbytes`` (floor)."""
+        return int(nbytes // self.event_bytes)
+
+    # -- bounds -----------------------------------------------------------------
+
+    @property
+    def universe(self) -> Interval:
+        """The full space as an interval ``[0, total_events)``."""
+        return Interval(0, self.total_events)
+
+    def clamp(self, interval: Interval) -> Interval:
+        """Clip an interval to the space bounds."""
+        return interval.intersection(self.universe)
+
+    def validate_segment(self, interval: Interval) -> Interval:
+        """Raise if ``interval`` leaves the space; return it otherwise."""
+        if interval.start < 0 or interval.end > self.total_events:
+            raise ConfigurationError(
+                f"segment {interval} outside data space [0, {self.total_events})"
+            )
+        return interval
+
+    def __repr__(self) -> str:
+        return (
+            f"DataSpace({self.total_events} events x "
+            f"{units.fmt_size(self.event_bytes)} = {units.fmt_size(self.total_bytes)})"
+        )

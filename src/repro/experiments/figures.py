@@ -1,0 +1,615 @@
+"""The paper's figures and in-text claims as registered experiments.
+
+Each ``fig*`` experiment regenerates the corresponding figure of the
+paper's evaluation: same policies, same parameters (cache sizes, delays,
+stripe sizes), same axes (offered load in jobs/hour → average speedup and
+average waiting time), with overloaded points cut exactly like the paper
+cuts its curves.  ``repl``, ``maxload``, ``farmq`` and ``nodes`` cover the
+evaluation claims made in prose rather than figures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..analysis.histogram import waiting_time_histogram
+from ..analysis.plots import ascii_plot
+from ..analysis.queueing import merlang_wait
+from ..analysis.tables import format_histogram, format_series_table, format_table
+from ..analysis.theory import theoretical_limits
+from ..core import units
+from ..sim.config import SimulationConfig, paper_config
+from ..sim.runner import RunSpec, SweepResult, load_sweep
+from .registry import Experiment, Scale, register_experiment
+
+#: Base seed for all figure sweeps (per-spec configs share a seed so every
+#: policy sees an identically-distributed workload).
+SEED = 2004
+
+_GB = units.GB
+
+
+def _base(scale: Scale, **overrides) -> SimulationConfig:
+    """The paper configuration at the requested scale."""
+    durations = {
+        Scale.SMOKE: 6 * units.DAY,
+        Scale.QUICK: 16 * units.DAY,
+        Scale.FULL: 48 * units.DAY,
+    }
+    defaults = dict(duration=durations[scale], seed=SEED)
+    defaults.update(overrides)
+    return paper_config(**defaults)
+
+
+def _loads(scale: Scale, full: List[float]) -> List[float]:
+    """Thin a full load grid down for cheaper scales."""
+    if scale is Scale.FULL:
+        return full
+    if scale is Scale.QUICK:
+        return full[:: max(1, len(full) // 4)]
+    return [full[0], full[len(full) // 2]]
+
+
+def _speedup_and_wait(
+    sweep: SweepResult, wait_metric: str = "waiting", title: str = ""
+) -> str:
+    """Standard two-panel rendering of a figure sweep."""
+    speedup = sweep.series("speedup")
+    waiting = sweep.series(wait_metric)
+    parts = [
+        format_series_table(speedup, "avg speedup", title=f"{title} — average speedup"),
+        "",
+        ascii_plot(speedup, title=f"{title} — speedup vs load", y_label="speedup"),
+        "",
+        format_series_table(
+            waiting, "avg waiting", time_metric=True,
+            title=f"{title} — average waiting time ({wait_metric})",
+        ),
+        "",
+        ascii_plot(
+            waiting, log_y=True, title=f"{title} — waiting time vs load (log)",
+            y_label="waiting (s)",
+        ),
+        "",
+        format_table(
+            ["curve", "max sustained load (jobs/h)"],
+            sorted(sweep.max_sustained_load().items()),
+            title="Sustainability (highest steady-state load per curve)",
+        ),
+    ]
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — farm vs splitting vs cache-oriented splitting
+# ---------------------------------------------------------------------------
+
+
+def _fig2_build(scale: Scale) -> List[RunSpec]:
+    loads = _loads(scale, [0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3])
+    base = _base(scale)
+    specs: List[RunSpec] = []
+    specs += load_sweep(base, "farm", loads, label="farm")
+    specs += load_sweep(base, "splitting", loads, label="splitting")
+    for cache_gb in (50, 100, 200):
+        specs += load_sweep(
+            base.with_(cache_bytes=cache_gb * _GB),
+            "cache-splitting",
+            loads,
+            label=f"cache-{cache_gb}GB",
+        )
+    return specs
+
+
+register_experiment(
+    Experiment(
+        exp_id="fig2",
+        title="FCFS policies: farm, job splitting, cache-oriented splitting",
+        paper_ref="Figure 2",
+        build=_fig2_build,
+        render=lambda sweep: _speedup_and_wait(sweep, title="Fig 2"),
+        expectation=(
+            "farm speedup ~1 and saturates near 1.1 jobs/h; splitting better at "
+            "low load; cache-oriented dominates with gain roughly proportional "
+            "to cache size, reaching the caching factor (~3x over splitting) at "
+            "200 GB; waiting times drop from days toward hours as caches grow"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — cache-oriented splitting vs out-of-order scheduling
+# ---------------------------------------------------------------------------
+
+
+def _fig3_build(scale: Scale) -> List[RunSpec]:
+    loads = _loads(scale, [0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6])
+    base = _base(scale)
+    specs: List[RunSpec] = []
+    for cache_gb in (50, 100, 200):
+        config = base.with_(cache_bytes=cache_gb * _GB)
+        specs += load_sweep(
+            config, "cache-splitting", loads, label=f"cache-{cache_gb}GB"
+        )
+        specs += load_sweep(
+            config, "out-of-order", loads, label=f"ooo-{cache_gb}GB"
+        )
+    return specs
+
+
+register_experiment(
+    Experiment(
+        exp_id="fig3",
+        title="Out-of-order scheduling vs cache-oriented splitting",
+        paper_ref="Figure 3",
+        build=_fig3_build,
+        render=lambda sweep: _speedup_and_wait(sweep, title="Fig 3"),
+        expectation=(
+            "at equal cache size, out-of-order gives higher speedup, roughly an "
+            "order of magnitude lower waiting time, and sustains about twice "
+            "the load of FIFO cache-based splitting, with graceful degradation "
+            "near the maximal load"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — waiting-time distribution near the maximal sustainable load
+# ---------------------------------------------------------------------------
+
+
+def _fig4_build(scale: Scale) -> List[RunSpec]:
+    durations = {
+        Scale.SMOKE: 8 * units.DAY,
+        Scale.QUICK: 24 * units.DAY,
+        Scale.FULL: 60 * units.DAY,
+    }
+    specs = []
+    for cache_gb, load in ((100, 1.7), (50, 1.44)):
+        config = paper_config(
+            duration=durations[scale],
+            seed=SEED,
+            cache_bytes=cache_gb * _GB,
+            arrival_rate_per_hour=load,
+        )
+        specs.append(
+            RunSpec.make(config, "out-of-order", label=f"ooo-{cache_gb}GB@{load}")
+        )
+    return specs
+
+
+def _fig4_render(sweep: SweepResult) -> str:
+    parts: List[str] = []
+    for spec, result in zip(sweep.specs, sweep.results):
+        waits = result.measured.waiting_times
+        hist = waiting_time_histogram(waits)
+        parts.append(
+            format_histogram(
+                hist.rows(),
+                title=(
+                    f"Fig 4 — waiting-time distribution, {spec.label} "
+                    f"({result.measured.n_jobs} jobs; <1h: {hist.below}, "
+                    f">=2days: {hist.above})"
+                ),
+            )
+        )
+        if len(waits):
+            parts.append(
+                f"  max waiting: {units.fmt_duration(float(np.max(waits)))}, "
+                f"median: {units.fmt_duration(float(np.median(waits)))}"
+            )
+        parts.append("")
+    return "\n".join(parts)
+
+
+register_experiment(
+    Experiment(
+        exp_id="fig4",
+        title="Waiting-time distribution of out-of-order scheduling near saturation",
+        paper_ref="Figure 4",
+        build=_fig4_build,
+        render=_fig4_render,
+        expectation=(
+            "two populations: jobs with cached data overtake and wait little "
+            "(bulk below ~an hour); jobs with no cached data form a tail out to "
+            "one-two days; worst case stays within about two days"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — delayed scheduling for different period delays
+# ---------------------------------------------------------------------------
+
+
+def _fig5_build(scale: Scale) -> List[RunSpec]:
+    loads = _loads(scale, [1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6])
+    base = _base(scale, cache_bytes=100 * _GB)
+    if scale is Scale.SMOKE:
+        # The 1-week delay needs several periods to measure at all.
+        base = base.with_(duration=12 * units.DAY)
+    specs: List[RunSpec] = []
+    for delay, name in (
+        (11 * units.HOUR, "11h"),
+        (2 * units.DAY, "2days"),
+        (1 * units.WEEK, "1week"),
+    ):
+        specs += load_sweep(
+            base,
+            "delayed",
+            loads,
+            label=f"delayed-{name}",
+            period=delay,
+            stripe_events=5000,
+        )
+    specs += load_sweep(base, "out-of-order", loads, label="out-of-order")
+    return specs
+
+
+register_experiment(
+    Experiment(
+        exp_id="fig5",
+        title="Delayed scheduling for different period delays",
+        paper_ref="Figure 5",
+        build=_fig5_build,
+        render=lambda sweep: _speedup_and_wait(
+            sweep, wait_metric="waiting_excl_delay", title="Fig 5"
+        ),
+        expectation=(
+            "delayed scheduling has lower speedup and higher (delay-excluded) "
+            "waiting time than out-of-order, but sustains markedly higher "
+            "loads, increasing with the period delay"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — delayed scheduling for different stripe sizes
+# ---------------------------------------------------------------------------
+
+
+def _fig6_build(scale: Scale) -> List[RunSpec]:
+    loads = _loads(scale, [0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4])
+    base = _base(scale, cache_bytes=100 * _GB)
+    specs: List[RunSpec] = []
+    for stripe, name in ((200, "200"), (1000, "1K"), (5000, "5K"), (25000, "25K")):
+        specs += load_sweep(
+            base,
+            "delayed",
+            loads,
+            label=f"stripe-{name}",
+            period=2 * units.DAY,
+            stripe_events=stripe,
+        )
+    return specs
+
+
+register_experiment(
+    Experiment(
+        exp_id="fig6",
+        title="Delayed scheduling for different stripe sizes",
+        paper_ref="Figure 6",
+        build=_fig6_build,
+        render=lambda sweep: _speedup_and_wait(
+            sweep, wait_metric="waiting_excl_delay", title="Fig 6"
+        ),
+        expectation=(
+            "smaller stripes clearly improve speedup (better parallelisation) "
+            "with no visible influence on the average waiting time; larger "
+            "sustainable load with smaller stripes"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — adaptive delay vs out-of-order
+# ---------------------------------------------------------------------------
+
+
+def _fig7_build(scale: Scale) -> List[RunSpec]:
+    loads = _loads(scale, [0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5])
+    base = _base(scale, cache_bytes=100 * _GB)
+    specs: List[RunSpec] = []
+    for stripe, name in ((200, "200"), (5000, "5K")):
+        specs += load_sweep(
+            base,
+            "adaptive",
+            loads,
+            label=f"adaptive-{name}",
+            stripe_events=stripe,
+        )
+    specs += load_sweep(base, "out-of-order", loads, label="out-of-order")
+    return specs
+
+
+register_experiment(
+    Experiment(
+        exp_id="fig7",
+        title="Adaptive delay scheduling vs out-of-order",
+        paper_ref="Figure 7",
+        build=_fig7_build,
+        render=lambda sweep: _speedup_and_wait(sweep, title="Fig 7"),
+        expectation=(
+            "adaptive delay sustains loads out-of-order cannot; at low loads "
+            "the delay is zero and speedup matches or slightly exceeds "
+            "out-of-order for small stripes, at the cost of a small (< ~1 h) "
+            "waiting-time overhead — negligible against the 9 h job time"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# §4.2 — data replication brings no improvement
+# ---------------------------------------------------------------------------
+
+
+def _repl_build(scale: Scale) -> List[RunSpec]:
+    loads = _loads(scale, [1.0, 1.2, 1.4, 1.6, 1.8, 2.0])
+    base = _base(scale, cache_bytes=100 * _GB)
+    specs: List[RunSpec] = []
+    specs += load_sweep(base, "out-of-order", loads, label="ooo")
+    specs += load_sweep(base, "replication", loads, label="ooo+replication")
+    specs += load_sweep(
+        base,
+        "replication",
+        loads,
+        label="ooo+remote-reads-only",
+        replication_enabled=False,
+    )
+    return specs
+
+
+def _repl_render(sweep: SweepResult) -> str:
+    parts = [_speedup_and_wait(sweep, title="§4.2 replication study")]
+    rows = []
+    for spec, result in zip(sweep.specs, sweep.results):
+        stats = result.policy_stats
+        arrivals = max(result.jobs_arrived, 1)
+        rows.append(
+            [
+                spec.label,
+                f"{result.load_per_hour:.2f}",
+                int(stats.get("replication_events", 0)),
+                f"{1000.0 * stats.get('replication_events', 0) / arrivals:.2f}",
+                int(stats.get("remote_chunks", 0)),
+                int(stats.get("steals", 0)),
+            ]
+        )
+    parts.append("")
+    parts.append(
+        format_table(
+            ["curve", "load", "replications", "repl. per mille of arrivals",
+             "remote chunks", "steals"],
+            rows,
+            title="Replication usage (paper: replication used in <1 ‰ of arrivals)",
+        )
+    )
+    return "\n".join(parts)
+
+
+register_experiment(
+    Experiment(
+        exp_id="repl",
+        title="Out-of-order scheduling with and without data replication",
+        paper_ref="§4.2 (in-text)",
+        build=_repl_build,
+        render=_repl_render,
+        expectation=(
+            "replication and no-replication curves coincide; replication is "
+            "exercised in under 1 per mille of job arrivals because splitting "
+            "already spreads large segments across many nodes"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# §5.2 — maximal sustainable load of delayed scheduling
+# ---------------------------------------------------------------------------
+
+
+def _maxload_build(scale: Scale) -> List[RunSpec]:
+    durations = {
+        Scale.SMOKE: 12 * units.DAY,
+        Scale.QUICK: 30 * units.DAY,
+        Scale.FULL: 70 * units.DAY,
+    }
+    # The paper's extreme uses a 1-week period; at smoke scale that would
+    # leave no measurable periods, so the delay shrinks with the horizon.
+    delay = 1 * units.WEEK if scale is not Scale.SMOKE else 2 * units.DAY
+    base = paper_config(duration=durations[scale], seed=SEED)
+    specs: List[RunSpec] = []
+    farm_loads = _loads(scale, [1.0, 1.05, 1.1, 1.15, 1.2])
+    specs += load_sweep(base, "farm", farm_loads, label="farm")
+    delayed_loads = _loads(scale, [2.6, 2.8, 3.0, 3.2, 3.4])
+    specs += load_sweep(
+        base.with_(cache_bytes=200 * _GB),
+        "delayed",
+        delayed_loads,
+        label="delayed-extreme",
+        period=delay,
+        stripe_events=200,
+    )
+    # Burst-drain variant: the batch's jobs are processed (nearly) one at
+    # a time (job_window=1).  Table 4 does not specify the drain
+    # discipline; this one recovers the paper's "average speedup of more
+    # than 10" at 3 jobs/hour (see EXPERIMENTS.md §5.2).
+    specs += load_sweep(
+        base.with_(cache_bytes=200 * _GB),
+        "delayed",
+        delayed_loads,
+        label="delayed-extreme-burst",
+        period=delay,
+        stripe_events=200,
+        job_window=1,
+    )
+    return specs
+
+
+def _maxload_render(sweep: SweepResult) -> str:
+    limits = theoretical_limits(sweep.specs[0].config)
+    sustained = sweep.max_sustained_load()
+    speedups = sweep.series("speedup")
+    rows = [
+        ["theoretical maximum (all cached, all CPUs busy)",
+         f"{limits.max_load_per_hour:.2f}", "—"],
+        ["theoretical farm ceiling (no cache)",
+         f"{limits.farm_max_load_per_hour:.2f}", "—"],
+    ]
+    for label, max_load in sorted(sustained.items()):
+        points = speedups.get(label, [])
+        at_max = [s for load, s in points if load == max_load]
+        rows.append(
+            [f"measured: {label}", f"{max_load:.2f}",
+             f"{at_max[0]:.1f}" if at_max else "—"]
+        )
+    return format_table(
+        ["system", "max sustained load (jobs/h)", "speedup at max"],
+        rows,
+        title="§5.2 — maximal sustainable load (paper: ~3.0 jobs/h with "
+        "speedup >10, vs 3.46 theoretical and ~1.1 for the farm)",
+    )
+
+
+register_experiment(
+    Experiment(
+        exp_id="maxload",
+        title="Maximal sustainable load: delayed extremes vs theory vs farm",
+        paper_ref="§5.2 (in-text)",
+        build=_maxload_build,
+        render=_maxload_render,
+        expectation=(
+            "delayed scheduling with 200 GB caches, 1 week delay and stripe "
+            "200 sustains ≈3 jobs/hour with average speedup above 10 — close "
+            "to the 3.46 theoretical maximum and ≈3x the farm's ≈1.1"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# §3.1 — the farm behaves as an M/Er/m queue
+# ---------------------------------------------------------------------------
+
+
+def _farmq_build(scale: Scale) -> List[RunSpec]:
+    loads = _loads(scale, [0.6, 0.7, 0.8, 0.9, 1.0])
+    base = _base(scale)
+    return load_sweep(base, "farm", loads, label="farm")
+
+
+def _farmq_render(sweep: SweepResult) -> str:
+    rows = []
+    for spec, result in zip(sweep.specs, sweep.results):
+        config = spec.config
+        prediction = merlang_wait(
+            servers=config.n_nodes,
+            arrival_rate=units.per_hour(config.arrival_rate_per_hour),
+            mean_service=config.mean_service_time_uncached,
+            erlang_shape=config.erlang_shape,
+        )
+        measured = result.measured.mean_waiting
+        rows.append(
+            [
+                f"{config.arrival_rate_per_hour:.2f}",
+                f"{prediction.utilization:.3f}",
+                units.fmt_duration(prediction.mean_wait),
+                units.fmt_duration(measured),
+                "overloaded" if result.overload.overloaded else "steady",
+            ]
+        )
+    return format_table(
+        ["load (jobs/h)", "rho", "M/Er/10 predicted wait", "simulated wait",
+         "state"],
+        rows,
+        title="§3.1 — processing farm vs the M/Er/m analytic model "
+        "(Allen–Cunneen approximation)",
+    )
+
+
+register_experiment(
+    Experiment(
+        exp_id="farmq",
+        title="Processing farm vs M/Er/m queueing theory",
+        paper_ref="§3.1 (in-text)",
+        build=_farmq_build,
+        render=_farmq_render,
+        expectation=(
+            "the simulated farm's mean waiting time tracks the M/Er/m "
+            "prediction across utilisations"
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# §2.4 — 5 / 10 / 20 nodes give similar results
+# ---------------------------------------------------------------------------
+
+
+def _nodes_build(scale: Scale) -> List[RunSpec]:
+    base = _base(scale, cache_bytes=100 * _GB)
+    # Per-node load sustainable even with cold caches (0.1 jobs/h/node x
+    # 40k events x 0.8 s = 3200 s of uncached work per node-hour), so the
+    # invariance claim is not confounded by cache-coverage differences.
+    per_node_load = 0.08
+    specs: List[RunSpec] = []
+    for n_nodes in (5, 10, 20):
+        config = base.with_(
+            n_nodes=n_nodes, arrival_rate_per_hour=per_node_load * n_nodes
+        )
+        specs.append(
+            RunSpec.make(config, "out-of-order", label=f"ooo-{n_nodes}nodes")
+        )
+        specs.append(
+            RunSpec.make(
+                config, "cache-splitting", label=f"cache-{n_nodes}nodes"
+            )
+        )
+    return specs
+
+
+def _nodes_render(sweep: SweepResult) -> str:
+    rows = []
+    for spec, result in zip(sweep.specs, sweep.results):
+        config = spec.config
+        rows.append(
+            [
+                spec.label,
+                config.n_nodes,
+                f"{config.arrival_rate_per_hour:.2f}",
+                f"{result.measured.mean_speedup / config.n_nodes:.3f}",
+                units.fmt_duration(result.measured.mean_waiting),
+                "overloaded" if result.overload.overloaded else "steady",
+            ]
+        )
+    return format_table(
+        ["curve", "nodes", "load (jobs/h)", "speedup per node", "mean wait",
+         "state"],
+        rows,
+        title="§2.4 — cluster-size invariance at equal per-node load "
+        "(paper: 5 and 20 node simulations 'lead to similar results')",
+    )
+
+
+register_experiment(
+    Experiment(
+        exp_id="nodes",
+        title="Cluster-size invariance (5/10/20 nodes)",
+        paper_ref="§2.4 (in-text)",
+        build=_nodes_build,
+        render=_nodes_render,
+        expectation=(
+            "normalised performance (speedup per node, waiting time) is "
+            "similar across 5, 10 and 20 nodes at equal per-node load"
+        ),
+    )
+)

@@ -1,0 +1,82 @@
+"""Paper-vs-measured reporting.
+
+``build_report`` runs (or accepts) experiment sweeps and renders a
+markdown report in the EXPERIMENTS.md format: one section per experiment
+with the paper's qualitative claim, our measured series, and a PASS/CHECK
+shape assessment where one can be computed mechanically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..sim.runner import SweepResult, run_sweep
+from .registry import Experiment, Scale, all_experiments, get_experiment
+
+
+@dataclass
+class ExperimentOutcome:
+    experiment: Experiment
+    sweep: SweepResult
+    rendered: str
+    wall_seconds: float
+
+
+def run_experiment(
+    exp_id: str,
+    scale: Scale = Scale.QUICK,
+    processes: Optional[int] = None,
+    progress: bool = False,
+) -> ExperimentOutcome:
+    """Run one registered experiment end to end."""
+    experiment = get_experiment(exp_id)
+    started = time.perf_counter()
+    sweep = run_sweep(experiment.specs(scale), processes=processes, progress=progress)
+    rendered = experiment.render(sweep)
+    return ExperimentOutcome(
+        experiment=experiment,
+        sweep=sweep,
+        rendered=rendered,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_all(
+    scale: Scale = Scale.QUICK,
+    exp_ids: Optional[Sequence[str]] = None,
+    processes: Optional[int] = None,
+    progress: bool = False,
+) -> List[ExperimentOutcome]:
+    ids = list(exp_ids) if exp_ids else [e.exp_id for e in all_experiments()]
+    return [
+        run_experiment(exp_id, scale=scale, processes=processes, progress=progress)
+        for exp_id in ids
+    ]
+
+
+def render_markdown_report(outcomes: Sequence[ExperimentOutcome], scale: Scale) -> str:
+    """EXPERIMENTS.md-style report for a set of outcomes."""
+    lines: List[str] = [
+        "# Experiment report",
+        "",
+        f"Scale: `{scale.value}`.  Every section reproduces one figure or",
+        "in-text claim of Ponce & Hersch (IPDPS 2004); 'expectation' quotes",
+        "the paper's qualitative claim, the block below it is our measured",
+        "output (overloaded points cut, as in the paper's figures).",
+        "",
+    ]
+    for outcome in outcomes:
+        experiment = outcome.experiment
+        lines.append(f"## {experiment.exp_id} — {experiment.title}")
+        lines.append("")
+        lines.append(f"*Paper reference:* {experiment.paper_ref}.")
+        lines.append(f"*Expectation:* {experiment.expectation}.")
+        lines.append(f"*Wall time:* {outcome.wall_seconds:.1f} s.")
+        lines.append("")
+        lines.append("```")
+        lines.append(outcome.rendered)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

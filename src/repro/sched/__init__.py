@@ -1,0 +1,56 @@
+"""Scheduling policies (the paper's contribution) and their plugin
+registry.
+
+Importing this package registers all built-in policies:
+
+========================  =============================================
+name                      paper section
+========================  =============================================
+``farm``                  §3.1 processing-farm baseline
+``splitting``             §3.2 / Table 1 job splitting
+``cache-splitting``       §3.3 / Table 2 cache-oriented job splitting
+``out-of-order``          §4.1 / Table 3 out-of-order scheduling
+``replication``           §4.2 out-of-order + data replication
+``delayed``               §5 / Table 4 delayed scheduling
+``adaptive``              §6 adaptive delay scheduling
+``mixed``                 §7 future work: delayed + immediate dispatch
+========================  =============================================
+"""
+
+from .base import (
+    SchedulerContext,
+    SchedulerPolicy,
+    available_policies,
+    best_subjob_for_node,
+    create_policy,
+    register_policy,
+    split_interval_by_caches,
+)
+from .adaptive import DEFAULT_DELAY_TABLE, AdaptiveDelayPolicy
+from .cache_splitting import CacheOrientedSplittingPolicy
+from .delayed import DelayedPolicy, compute_stripe_points
+from .farm import ProcessingFarmPolicy
+from .mixed import MixedDelayPolicy
+from .out_of_order import OutOfOrderPolicy
+from .replication import ReplicationPolicy
+from .splitting import JobSplittingPolicy
+
+__all__ = [
+    "SchedulerPolicy",
+    "SchedulerContext",
+    "register_policy",
+    "create_policy",
+    "available_policies",
+    "split_interval_by_caches",
+    "best_subjob_for_node",
+    "compute_stripe_points",
+    "ProcessingFarmPolicy",
+    "JobSplittingPolicy",
+    "CacheOrientedSplittingPolicy",
+    "OutOfOrderPolicy",
+    "ReplicationPolicy",
+    "DelayedPolicy",
+    "AdaptiveDelayPolicy",
+    "MixedDelayPolicy",
+    "DEFAULT_DELAY_TABLE",
+]

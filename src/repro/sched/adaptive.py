@@ -1,0 +1,177 @@
+"""Adaptive delay scheduling (§6).
+
+"We define here a new adaptive delay policy that aims at minimizing the
+waiting time, while sustaining the current load.  This policy makes use of
+the performance parameters shown in Figures 5 and 6 in order to choose the
+minimal 'period' delay that allows to sustain the current load."
+
+The policy wraps :class:`~repro.sched.delayed.DelayedPolicy` with a
+dynamic period: a sliding-window estimator tracks the recent arrival rate,
+and a monotone *delay table* — (maximal sustainable load → minimal delay)
+pairs measured by the Fig 5/6 sweeps — maps the estimate to the next
+period.  At low loads the delay is zero and jobs are scheduled
+immediately (still with the stripe-splitting machinery, which is why the
+adaptive policy's speedup at small stripes slightly exceeds out-of-order's
+— §6's closing discussion).
+
+The default table is expressed as *fractions of the theoretical maximal
+load* so it transfers across cluster sizes; it was calibrated with
+``repro.experiments.calibration`` on the paper configuration and can be
+recalibrated for any other.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Sequence, Tuple
+
+from ..core import units
+from ..core.errors import ConfigurationError
+from ..core.events import EventPriority
+from ..workload.jobs import Job
+from .base import SchedulerContext, register_policy
+from .delayed import DelayedPolicy
+
+#: Default (sustainable load fraction, delay) steps.  A row means: loads
+#: up to ``fraction`` × (theoretical max) are sustainable with ``delay``.
+#: Calibrated on the paper configuration (100 GB caches, stripe 5000);
+#: see EXPERIMENTS.md and `repro.experiments.calibration`.
+DEFAULT_DELAY_TABLE: Tuple[Tuple[float, float], ...] = (
+    (0.55, 0.0),
+    (0.62, 11 * units.HOUR),
+    (0.72, 2 * units.DAY),
+    (0.85, 1 * units.WEEK),
+)
+
+
+@register_policy
+class AdaptiveDelayPolicy(DelayedPolicy):
+    """§6 of the paper: delayed scheduling with a load-adapted period."""
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        stripe_events: int = 5_000,
+        delay_table: Optional[Sequence[Tuple[float, float]]] = None,
+        estimation_window: float = 3 * units.DAY,
+        safety_factor: float = 1.0,
+    ) -> None:
+        super().__init__(period=0.0, stripe_events=stripe_events)
+        table = tuple(delay_table) if delay_table is not None else DEFAULT_DELAY_TABLE
+        if not table:
+            raise ConfigurationError("delay table must not be empty")
+        if sorted(table) != list(table):
+            raise ConfigurationError("delay table must be sorted by load fraction")
+        self.delay_table = table
+        if estimation_window <= 0:
+            raise ConfigurationError(
+                f"estimation_window must be > 0, got {estimation_window}"
+            )
+        self.estimation_window = float(estimation_window)
+        self.safety_factor = float(safety_factor)
+        self._arrival_times: Deque[float] = deque()
+        #: Current position in the delay table; moves at most one step per
+        #: decision (hysteresis: a noisy load estimate must persist across
+        #: several boundaries to escalate the delay far, so one burst never
+        #: triggers a week-long accumulation period).
+        self._delay_index = 0
+        self.stats_delay_changes = 0
+        self.stats_time_at_zero_delay = 0.0
+        self._last_mode_change = 0.0
+
+    # -- load estimation --------------------------------------------------------
+
+    def _note_arrival(self, now: float) -> None:
+        self._arrival_times.append(now)
+        cutoff = now - self.estimation_window
+        while self._arrival_times and self._arrival_times[0] < cutoff:
+            self._arrival_times.popleft()
+
+    def estimated_load_per_hour(self) -> float:
+        """Arrival rate over the sliding window (jobs/hour)."""
+        now = self.engine.now
+        window = min(self.estimation_window, max(now, units.HOUR))
+        cutoff = now - window
+        count = sum(1 for t in self._arrival_times if t >= cutoff)
+        return count * units.HOUR / window
+
+    def estimated_load_fraction(self) -> float:
+        return (
+            self.estimated_load_per_hour()
+            / self.config.max_theoretical_load_per_hour
+        )
+
+    def target_delay_index(self) -> int:
+        """Table row of the minimal delay sustaining the estimated load."""
+        fraction = self.estimated_load_fraction() * self.safety_factor
+        for index, (max_fraction, _) in enumerate(self.delay_table):
+            if fraction <= max_fraction:
+                return index
+        return len(self.delay_table) - 1
+
+    def choose_delay(self) -> float:
+        """Next period delay: one table step toward the target row."""
+        target = self.target_delay_index()
+        if target > self._delay_index:
+            self._delay_index += 1
+        elif target < self._delay_index:
+            self._delay_index -= 1
+        return self.delay_table[self._delay_index][1]
+
+    # -- scheduling -----------------------------------------------------------------
+
+    def on_job_arrival(self, job: Job) -> None:
+        now = self.engine.now
+        self._note_arrival(now)
+        if self.period == 0:
+            job.schedule_time = now
+            self._schedule_batch([job])
+            self._maybe_enter_delayed_mode()
+        else:
+            self.pending_jobs.append(job)
+
+    def _maybe_enter_delayed_mode(self) -> None:
+        delay = self.choose_delay()
+        if delay > 0:
+            self.stats_time_at_zero_delay += self.engine.now - self._last_mode_change
+            self._last_mode_change = self.engine.now
+            self.stats_delay_changes += 1
+            self.period = delay
+            self._boundary_event = self.engine.call_after(
+                delay,
+                self._on_period_boundary,
+                priority=EventPriority.PERIOD,
+                label="period",
+            )
+
+    def _next_period_delay(self) -> float:
+        """Re-chosen at every boundary from the current load estimate."""
+        delay = self.choose_delay()
+        if delay != self.period:
+            self.stats_delay_changes += 1
+            if delay == 0:
+                self._last_mode_change = self.engine.now
+        return delay
+
+    def bind(self, ctx: SchedulerContext) -> None:
+        super().bind(ctx)
+        self._last_mode_change = ctx.engine.now
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "policy": self.name,
+            "stripe_events": self.stripe_events,
+            "delay_table": list(self.delay_table),
+            "estimation_window": self.estimation_window,
+            "safety_factor": self.safety_factor,
+        }
+
+    def extra_stats(self) -> Dict[str, float]:
+        stats = super().extra_stats()
+        stats.update(
+            delay_changes=float(self.stats_delay_changes),
+            current_delay=float(self.period),
+            estimated_load_per_hour=self.estimated_load_per_hour(),
+        )
+        return stats

@@ -1,0 +1,268 @@
+"""Scheduler-policy framework: base class, plugin registry, shared helpers.
+
+The paper's scheduler "implements a plugin model, enabling new scheduling
+policies to be easily added"; this module is that plugin model.  A policy
+receives three notifications from the simulator —
+
+* :meth:`SchedulerPolicy.on_job_arrival`,
+* :meth:`SchedulerPolicy.on_subjob_end` (a subjob finished but its job has
+  more work), and
+* :meth:`SchedulerPolicy.on_job_end` (a subjob finished and completed its
+  job)
+
+— and acts by starting/preempting subjobs on nodes.  The paper's two basic
+principles (§3) are invariants every policy here maintains: a started job
+always keeps at least one node or queued/suspended work that the policy
+will resume, and the policy documents its job-start ordering.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Type
+
+from ..cluster.access import CachingPlanner, DataAccessPlanner
+from ..cluster.cluster import Cluster
+from ..cluster.node import Node
+from ..core.engine import Engine
+from ..core.errors import ConfigurationError, SchedulingError
+from ..data.intervals import Interval
+from ..data.tertiary import TertiaryStorage
+from ..workload.jobs import Job, Subjob
+
+if TYPE_CHECKING:  # pragma: no cover
+    # Imported lazily to avoid a package cycle: sim.simulator imports this
+    # module, and sim.config is only needed here for type hints.
+    from ..sim.config import SimulationConfig
+
+
+class SchedulerContext:
+    """Everything a policy may touch, bundled at bind time."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        config: "SimulationConfig",
+        tertiary: TertiaryStorage,
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.config = config
+        self.tertiary = tertiary
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+
+class SchedulerPolicy(ABC):
+    """Base class of all scheduling policies."""
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def __init__(self) -> None:
+        self.ctx: Optional[SchedulerContext] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def make_planner(self, tertiary: TertiaryStorage) -> DataAccessPlanner:
+        """The data-access planner this policy installs on the nodes.
+
+        Default: local LRU caching with write-through (cache-aware
+        policies).  Cache-less policies override this.
+        """
+        return CachingPlanner(tertiary)
+
+    def bind(self, ctx: SchedulerContext) -> None:
+        """Attach to a simulation; called once before the first arrival."""
+        self.ctx = ctx
+
+    # -- notifications ---------------------------------------------------------
+
+    @abstractmethod
+    def on_job_arrival(self, job: Job) -> None:
+        """A new job entered the system."""
+
+    @abstractmethod
+    def on_subjob_end(self, node: Node, subjob: Subjob) -> None:
+        """``subjob`` finished on ``node``; its job still has open work.
+
+        ``node`` may already be busy again if the completion was delivered
+        through a deferred event after a preemption — handlers must check
+        ``node.idle``.
+        """
+
+    @abstractmethod
+    def on_job_end(self, node: Node, job: Job, subjob: Subjob) -> None:
+        """``subjob`` finished on ``node`` and completed ``job``."""
+
+    # -- reporting ----------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """Policy parameters for reports."""
+        return {"policy": self.name}
+
+    def extra_stats(self) -> Dict[str, float]:
+        """Policy-specific counters for reports (fairness promotions,
+        replications, ...)."""
+        return {}
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    @property
+    def cluster(self) -> Cluster:
+        assert self.ctx is not None, "policy used before bind()"
+        return self.ctx.cluster
+
+    @property
+    def engine(self) -> Engine:
+        assert self.ctx is not None, "policy used before bind()"
+        return self.ctx.engine
+
+    @property
+    def config(self) -> "SimulationConfig":
+        assert self.ctx is not None, "policy used before bind()"
+        return self.ctx.config
+
+    @property
+    def min_subjob_events(self) -> int:
+        return self.config.min_subjob_events
+
+    def start_on(self, node: Node, subjob: Subjob) -> None:
+        """Start ``subjob`` on ``node`` (thin, assert-friendly wrapper)."""
+        if node.busy:
+            raise SchedulingError(
+                f"{self.name}: node {node.node_id} already busy"
+            )
+        node.start(subjob)
+
+    def split_running_subjob(self, subjob: Subjob, point: int) -> Optional[Subjob]:
+        """Split a *running* subjob's remaining work at ``point``.
+
+        Preempts its node, splits, resumes the left half there, and
+        returns the right half (PENDING).  Returns ``None`` if the subjob
+        completed during preemption or the point fell outside the
+        remaining range after the preemption progress update.
+        """
+        node = subjob.node
+        if node is None:
+            raise SchedulingError(f"subjob {subjob.sid} is not running")
+        suspended = node.preempt()
+        if suspended is None:
+            return None  # finished exactly now
+        remaining = suspended.remaining
+        if not (remaining.start < point < remaining.end):
+            node.start(suspended)
+            return None
+        right = suspended.split_remaining_at(point)
+        node.start(suspended)
+        return right
+
+
+# ---------------------------------------------------------------------------
+# Plugin registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[SchedulerPolicy]] = {}
+
+
+def register_policy(cls: Type[SchedulerPolicy]) -> Type[SchedulerPolicy]:
+    """Class decorator adding a policy to the registry by its ``name``."""
+    if not cls.name:
+        raise ConfigurationError(f"policy class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ConfigurationError(f"duplicate policy name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_policies() -> List[str]:
+    """Registered policy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_policy(name: str, **params) -> SchedulerPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+    return cls(**params)
+
+
+# ---------------------------------------------------------------------------
+# Shared splitting helpers
+# ---------------------------------------------------------------------------
+
+
+def split_interval_by_caches(
+    segment: Interval,
+    cluster: Cluster,
+    min_events: int,
+) -> List[Tuple[Interval, Optional[Node]]]:
+    """Partition ``segment`` into pieces that are each fully cached on one
+    node or fully uncached (Tables 2–4: "data processed by a given subjob
+    should always either be fully cached on a node or not cached at all").
+
+    Pieces shorter than ``min_events`` are merged into a neighbour (the
+    paper's minimal job size), which may make that neighbour's tag
+    slightly inexact — the planner charges actual hit/miss costs per
+    chunk, so only the *placement hint* blurs.
+
+    Returns ``(piece, node)`` pairs in segment order; ``node`` is the node
+    caching the piece (``None`` = uncached).  When two nodes cache the
+    same events (possible after work stealing), the lower-id node wins —
+    deterministic and unbiased since node ids carry no meaning.
+    """
+    # 1. Claim cached parts, lower node id first.
+    claims: List[Tuple[Interval, Optional[Node]]] = []
+    from ..data.intervals import IntervalSet  # local import to avoid cycle noise
+
+    unclaimed = IntervalSet([segment])
+    for node in cluster:
+        if not unclaimed:
+            break
+        parts = node.cache.cached_parts(segment).intersection(unclaimed)
+        for part in parts:
+            claims.append((part, node))
+        unclaimed = unclaimed.difference(parts)
+    for part in unclaimed:
+        claims.append((part, None))
+    claims.sort(key=lambda item: item[0].start)
+
+    # 2. Merge undersized pieces into a neighbour.
+    merged: List[Tuple[Interval, Optional[Node]]] = []
+    for piece, owner in claims:
+        if merged and (
+            piece.length < min_events or merged[-1][0].length < min_events
+        ):
+            previous, previous_owner = merged[-1]
+            keep_owner = (
+                previous_owner
+                if previous.length >= piece.length
+                else owner
+            )
+            merged[-1] = (Interval(previous.start, piece.end), keep_owner)
+        else:
+            merged.append((piece, owner))
+    return merged
+
+
+def best_subjob_for_node(
+    node: Node, candidates: List[Subjob]
+) -> Optional[Subjob]:
+    """The candidate with the most remaining data cached on ``node``
+    (ties → largest remaining, then arrival order)."""
+    best: Optional[Subjob] = None
+    best_key: Tuple[int, int] = (-1, -1)
+    for subjob in candidates:
+        cached = node.cache.cached_events(subjob.remaining)
+        key = (cached, subjob.remaining_events)
+        if key > best_key:
+            best_key = key
+            best = subjob
+    return best

@@ -1,0 +1,49 @@
+"""Simulation wiring: configuration, metrics, overload analysis, runner."""
+
+from .config import SimulationConfig, paper_config, quick_config
+from .export import (
+    load_records_csv,
+    result_summary_dict,
+    write_backlog_csv,
+    write_records_csv,
+    write_result_json,
+)
+from .metrics import JobRecord, MetricsCollector, PerformanceSummary
+from .overload import OverloadVerdict, analyse_backlog
+from .replications import (
+    MetricEstimate,
+    ReplicatedResult,
+    compare_policies,
+    estimate,
+    run_replications,
+)
+from .runner import RunSpec, SweepResult, load_sweep, run_sweep
+from .simulator import Simulation, SimulationResult, run_simulation
+
+__all__ = [
+    "SimulationConfig",
+    "paper_config",
+    "quick_config",
+    "Simulation",
+    "SimulationResult",
+    "run_simulation",
+    "JobRecord",
+    "MetricsCollector",
+    "PerformanceSummary",
+    "OverloadVerdict",
+    "analyse_backlog",
+    "RunSpec",
+    "MetricEstimate",
+    "ReplicatedResult",
+    "run_replications",
+    "compare_policies",
+    "estimate",
+    "SweepResult",
+    "run_sweep",
+    "load_sweep",
+    "write_records_csv",
+    "load_records_csv",
+    "write_backlog_csv",
+    "write_result_json",
+    "result_summary_dict",
+]

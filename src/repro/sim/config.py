@@ -1,0 +1,196 @@
+"""Simulation configuration with the paper's defaults (§2.4).
+
+One frozen dataclass carries every knob of a run; derived objects
+(data space, cost model, distributions) are built from it on demand so a
+config remains a plain, serialisable value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Optional, Tuple
+
+from ..core import units
+from ..core.errors import ConfigurationError
+from ..cluster.costmodel import CostModel
+from ..data.dataspace import DataSpace
+from ..workload.distributions import (
+    ErlangJobSize,
+    HotRegion,
+    HotspotStartDistribution,
+)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All parameters of one simulation run.
+
+    Defaults reproduce the paper's §2.4 setup: 10 identical nodes, 100 GB
+    disk caches, 2 TB data space of 600 KB events, 0.2 s CPU per event,
+    10 MB/s disks, 1 MB/s tertiary streams, Erlang-4 job sizes with mean
+    40 000 events (mode 30 000 — see DESIGN.md §2), two hot regions
+    holding 50 % of the job start points in 10 % of the space, Poisson
+    arrivals.
+    """
+
+    # -- randomness -----------------------------------------------------------
+    seed: int = 0
+
+    # -- cluster ---------------------------------------------------------------
+    n_nodes: int = 10
+    cache_bytes: int = 100 * units.GB
+    node_speed_factors: Optional[Tuple[float, ...]] = None
+
+    # -- data ------------------------------------------------------------------
+    total_data_bytes: int = 2 * units.TB
+    event_bytes: int = 600 * units.KB
+
+    # -- hardware timing ---------------------------------------------------------
+    cpu_time_per_event: float = 0.2
+    disk_throughput: float = 10 * units.MB  # bytes/second
+    tertiary_throughput: float = 1 * units.MB
+    network_throughput: float = 125 * units.MB
+    pipelined_io: bool = False
+    #: Per-tertiary-request setup latency (tape positioning); the paper
+    #: assumes Castor's disk arrays hide it (0.0).
+    tertiary_latency_s: float = 0.0
+
+    # -- workload -----------------------------------------------------------------
+    arrival_rate_per_hour: float = 1.0
+    mean_job_events: float = 40_000.0
+    erlang_shape: int = 4
+    hot_regions: Tuple[Tuple[float, float], ...] = ((0.20, 0.05), (0.60, 0.05))
+    hot_weight: float = 0.5
+
+    # -- scheduling granularity -------------------------------------------------------
+    min_subjob_events: int = 10
+    chunk_events: int = 2000
+
+    # -- run control ---------------------------------------------------------------
+    duration: float = 40 * units.DAY
+    warmup_fraction: float = 0.25
+    probe_interval: float = 2 * units.HOUR
+
+    # -- validation -------------------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.cache_bytes < 0:
+            raise ConfigurationError(f"cache_bytes must be >= 0, got {self.cache_bytes}")
+        if self.arrival_rate_per_hour <= 0:
+            raise ConfigurationError(
+                f"arrival_rate_per_hour must be > 0, got {self.arrival_rate_per_hour}"
+            )
+        if not (0.0 <= self.warmup_fraction < 1.0):
+            raise ConfigurationError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {self.duration}")
+        if self.min_subjob_events < 1:
+            raise ConfigurationError(
+                f"min_subjob_events must be >= 1, got {self.min_subjob_events}"
+            )
+        if self.chunk_events < self.min_subjob_events:
+            raise ConfigurationError(
+                "chunk_events must be >= min_subjob_events "
+                f"({self.chunk_events} < {self.min_subjob_events})"
+            )
+        if self.mean_job_events * self.event_bytes > self.total_data_bytes:
+            raise ConfigurationError("mean job larger than the data space")
+        if self.tertiary_latency_s < 0:
+            raise ConfigurationError(
+                f"tertiary_latency_s must be >= 0, got {self.tertiary_latency_s}"
+            )
+
+    # -- derived objects ---------------------------------------------------------------
+
+    def dataspace(self) -> DataSpace:
+        return DataSpace.from_bytes(self.total_data_bytes, self.event_bytes)
+
+    def cost_model(self) -> CostModel:
+        return CostModel.from_hardware(
+            event_bytes=self.event_bytes,
+            cpu_time_per_event=self.cpu_time_per_event,
+            disk_throughput=self.disk_throughput,
+            tertiary_throughput=self.tertiary_throughput,
+            network_throughput=self.network_throughput,
+            pipelined=self.pipelined_io,
+            tertiary_latency=self.tertiary_latency_s,
+        )
+
+    def job_size_distribution(self) -> ErlangJobSize:
+        return ErlangJobSize(self.mean_job_events, self.erlang_shape)
+
+    def start_distribution(self) -> HotspotStartDistribution:
+        return HotspotStartDistribution(
+            self.dataspace(),
+            regions=tuple(HotRegion(s, l) for s, l in self.hot_regions),
+            hot_weight=self.hot_weight,
+        )
+
+    # -- derived scalars ---------------------------------------------------------------
+
+    @property
+    def cache_events(self) -> int:
+        """Per-node disk cache capacity in whole events."""
+        return int(self.cache_bytes // self.event_bytes)
+
+    @property
+    def warmup_time(self) -> float:
+        return self.duration * self.warmup_fraction
+
+    @property
+    def mean_service_time_uncached(self) -> float:
+        """Expected single-node no-cache job time (the paper's 32 000 s)."""
+        return self.mean_job_events * self.cost_model().uncached_event_time
+
+    @property
+    def mean_service_time_cached(self) -> float:
+        return self.mean_job_events * self.cost_model().cached_event_time
+
+    @property
+    def max_theoretical_load_per_hour(self) -> float:
+        """All CPUs busy, all data cached (the paper's 3.46 jobs/h)."""
+        return self.n_nodes * units.HOUR / self.mean_service_time_cached
+
+    @property
+    def offered_load_fraction(self) -> float:
+        """Offered load relative to the theoretical maximum."""
+        return self.arrival_rate_per_hour / self.max_theoretical_load_per_hour
+
+    # -- convenience ----------------------------------------------------------------------
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """A modified copy (thin wrapper over dataclasses.replace)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def paper_config(**overrides) -> SimulationConfig:
+    """The §2.4 reference configuration, with keyword overrides."""
+    return SimulationConfig(**overrides)
+
+
+def quick_config(**overrides) -> SimulationConfig:
+    """A reduced-scale configuration for tests and smoke benches.
+
+    Scales the data space, caches and job sizes down by ~20x while
+    preserving the paper's ratios (cache/data ≈ 5 %, job/data ≈ 1.2 %,
+    caching factor 3.08), so policy behaviour is qualitatively unchanged
+    but runs take milliseconds.
+    """
+    defaults = dict(
+        total_data_bytes=100 * units.GB,
+        cache_bytes=5 * units.GB,
+        mean_job_events=2_000.0,
+        min_subjob_events=10,
+        chunk_events=200,
+        duration=10 * units.DAY,
+        arrival_rate_per_hour=1.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)

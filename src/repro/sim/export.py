@@ -1,0 +1,116 @@
+"""Export simulation results for external analysis.
+
+Writes per-job records and backlog probes to CSV (spreadsheets, pandas,
+gnuplot — the paper's plots were gnuplot) and full result summaries to
+JSON.  Everything round-trips: ``load_records_csv`` reads back what
+``write_records_csv`` wrote.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from .metrics import BacklogSample, JobRecord
+from .simulator import SimulationResult
+
+PathLike = Union[str, Path]
+
+_RECORD_FIELDS = (
+    "job_id",
+    "arrival_time",
+    "schedule_time",
+    "first_start",
+    "completion",
+    "n_events",
+    "reference_time",
+)
+
+_DERIVED_FIELDS = ("waiting_time", "processing_time", "sojourn_time", "speedup")
+
+
+def write_records_csv(path: PathLike, records: Sequence[JobRecord]) -> int:
+    """Write job records (raw + derived columns); returns the row count."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_RECORD_FIELDS + _DERIVED_FIELDS)
+        for record in records:
+            writer.writerow(
+                [getattr(record, field) for field in _RECORD_FIELDS]
+                + [getattr(record, field) for field in _DERIVED_FIELDS]
+            )
+    return len(records)
+
+
+def load_records_csv(path: PathLike) -> List[JobRecord]:
+    """Read job records back (derived columns are recomputed, not read)."""
+    records: List[JobRecord] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            records.append(
+                JobRecord(
+                    job_id=int(row["job_id"]),
+                    arrival_time=float(row["arrival_time"]),
+                    schedule_time=float(row["schedule_time"]),
+                    first_start=float(row["first_start"]),
+                    completion=float(row["completion"]),
+                    n_events=int(row["n_events"]),
+                    reference_time=float(row["reference_time"]),
+                )
+            )
+    return records
+
+
+def write_backlog_csv(path: PathLike, samples: Sequence[BacklogSample]) -> int:
+    """Write the backlog probe series (time, jobs in system, busy nodes)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "jobs_in_system", "busy_nodes"])
+        for sample in samples:
+            writer.writerow([sample.time, sample.jobs_in_system, sample.busy_nodes])
+    return len(samples)
+
+
+def result_summary_dict(result: SimulationResult) -> dict:
+    """A JSON-serialisable summary of one simulation result."""
+    return {
+        "policy": result.policy_name,
+        "policy_params": {
+            key: value for key, value in result.policy_params.items()
+        },
+        "policy_stats": dict(result.policy_stats),
+        "config": result.config.to_dict(),
+        "load_per_hour": result.load_per_hour,
+        "jobs_arrived": result.jobs_arrived,
+        "jobs_completed": result.jobs_completed,
+        "measured": {
+            "n_jobs": result.measured.n_jobs,
+            "mean_speedup": result.measured.mean_speedup,
+            "median_speedup": result.measured.median_speedup,
+            "mean_waiting": result.measured.mean_waiting,
+            "median_waiting": result.measured.median_waiting,
+            "p95_waiting": result.measured.p95_waiting,
+            "max_waiting": result.measured.max_waiting,
+            "mean_waiting_excl_delay": result.measured.mean_waiting_excl_delay,
+            "mean_processing": result.measured.mean_processing,
+            "mean_sojourn": result.measured.mean_sojourn,
+            "throughput_per_hour": result.measured.throughput_per_hour,
+        },
+        "overloaded": result.overload.overloaded,
+        "backlog_slope_per_hour": result.overload.backlog_slope_per_hour,
+        "node_utilization": result.node_utilization,
+        "cache_hit_fraction": result.cache_hit_fraction(),
+        "tertiary_events_read": result.tertiary_events_read,
+        "tertiary_redundancy": result.tertiary_redundancy,
+        "events_by_source": dict(result.events_by_source),
+        "engine_events": result.engine_events,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def write_result_json(path: PathLike, result: SimulationResult) -> None:
+    """Write the summary JSON (records go to CSV, not here)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_summary_dict(result), handle, indent=2, default=float)

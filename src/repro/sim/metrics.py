@@ -1,0 +1,180 @@
+"""Per-job records and steady-state performance aggregation.
+
+The paper characterises each policy by two curves (average speedup and
+average waiting time vs offered load), a waiting-time distribution near
+saturation (Fig 4), and sustainability (whether the run stayed in steady
+state).  This module computes all of these from completed-job records,
+applying the paper's measurement conventions:
+
+* the startup period (caches filling) is discarded — jobs arriving before
+  the warmup time are not measured;
+* speedup of a job = its single-node no-cache time (``n_events × uncached
+  per-event time``) divided by its processing time;
+* processing time runs from the first processed event to the last one,
+  suspended stretches included;
+* waiting time runs from submission to the first processed event;
+  ``waiting_excl_delay`` additionally subtracts the delayed scheduler's
+  period delay (the convention of Figs 5 and 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..workload.jobs import Job
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable summary of one completed job."""
+
+    job_id: int
+    arrival_time: float
+    schedule_time: float
+    first_start: float
+    completion: float
+    n_events: int
+    reference_time: float  # single-node, no-cache processing time
+
+    @property
+    def waiting_time(self) -> float:
+        return self.first_start - self.arrival_time
+
+    @property
+    def waiting_time_excl_delay(self) -> float:
+        return self.first_start - self.schedule_time
+
+    @property
+    def processing_time(self) -> float:
+        return self.completion - self.first_start
+
+    @property
+    def sojourn_time(self) -> float:
+        """Total time in the system (submission → completion)."""
+        return self.completion - self.arrival_time
+
+    @property
+    def speedup(self) -> float:
+        if self.processing_time <= 0:
+            return math.inf
+        return self.reference_time / self.processing_time
+
+
+@dataclass
+class BacklogSample:
+    """One probe of the system backlog."""
+
+    time: float
+    jobs_in_system: int  # arrived but not completed
+    busy_nodes: int
+
+
+class MetricsCollector:
+    """Accumulates job records and backlog probes during a run."""
+
+    def __init__(self, uncached_event_time: float) -> None:
+        self.uncached_event_time = uncached_event_time
+        self.records: List[JobRecord] = []
+        self.backlog: List[BacklogSample] = []
+        self.jobs_arrived = 0
+        self.jobs_completed = 0
+
+    def on_arrival(self, job: Job) -> None:
+        self.jobs_arrived += 1
+
+    def on_completion(self, job: Job) -> None:
+        assert job.first_start is not None and job.completion is not None
+        self.jobs_completed += 1
+        self.records.append(
+            JobRecord(
+                job_id=job.job_id,
+                arrival_time=job.arrival_time,
+                schedule_time=job.schedule_time,
+                first_start=job.first_start,
+                completion=job.completion,
+                n_events=job.n_events,
+                reference_time=job.n_events * self.uncached_event_time,
+            )
+        )
+
+    def probe(self, time: float, busy_nodes: int) -> None:
+        self.backlog.append(
+            BacklogSample(
+                time=time,
+                jobs_in_system=self.jobs_arrived - self.jobs_completed,
+                busy_nodes=busy_nodes,
+            )
+        )
+
+    def measured_records(self, warmup_time: float) -> List[JobRecord]:
+        """Records of jobs that arrived after warmup."""
+        return [r for r in self.records if r.arrival_time >= warmup_time]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return float(np.mean(values)) if len(values) else math.nan
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    return float(np.percentile(values, q)) if len(values) else math.nan
+
+
+@dataclass
+class PerformanceSummary:
+    """Aggregate statistics over the measured (post-warmup) jobs."""
+
+    n_jobs: int
+    mean_waiting: float
+    median_waiting: float
+    p95_waiting: float
+    max_waiting: float
+    mean_waiting_excl_delay: float
+    mean_processing: float
+    mean_sojourn: float
+    mean_speedup: float
+    median_speedup: float
+    mean_job_events: float
+    throughput_per_hour: float
+    waiting_times: np.ndarray = field(repr=False)
+    waiting_times_excl_delay: np.ndarray = field(repr=False)
+    speedups: np.ndarray = field(repr=False)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[JobRecord],
+        measure_interval: Optional[float] = None,
+    ) -> "PerformanceSummary":
+        waits = np.array([r.waiting_time for r in records], dtype=float)
+        waits_excl = np.array(
+            [r.waiting_time_excl_delay for r in records], dtype=float
+        )
+        speedups = np.array([r.speedup for r in records], dtype=float)
+        processing = [r.processing_time for r in records]
+        sojourn = [r.sojourn_time for r in records]
+        events = [float(r.n_events) for r in records]
+        if measure_interval and measure_interval > 0:
+            throughput = len(records) * 3600.0 / measure_interval
+        else:
+            throughput = math.nan
+        return cls(
+            n_jobs=len(records),
+            mean_waiting=_mean(waits),
+            median_waiting=_percentile(waits, 50),
+            p95_waiting=_percentile(waits, 95),
+            max_waiting=float(np.max(waits)) if len(waits) else math.nan,
+            mean_waiting_excl_delay=_mean(waits_excl),
+            mean_processing=_mean(processing),
+            mean_sojourn=_mean(sojourn),
+            mean_speedup=_mean(speedups),
+            median_speedup=_percentile(speedups, 50),
+            mean_job_events=_mean(events),
+            throughput_per_hour=throughput,
+            waiting_times=waits,
+            waiting_times_excl_delay=waits_excl,
+            speedups=speedups,
+        )

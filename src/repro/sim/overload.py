@@ -1,0 +1,107 @@
+"""Steady-state vs overload classification.
+
+The paper cuts every curve "at high loads when the system leaves the
+steady state and becomes overloaded.  When overloaded, the notion of
+average waiting time does not make sense anymore since jobs are
+accumulating and the waiting time grows to infinity."
+
+We detect that regime from the backlog probes (jobs in system over time):
+after warmup, an overloaded system shows a persistent positive backlog
+trend whose slope is a non-trivial fraction of the arrival rate, and its
+completion rate stays below the arrival rate.  Both signals must agree,
+which keeps the classifier robust to the bursty-but-stable behaviour of
+the delayed scheduler (whose backlog saws up and down with each period).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core import units
+from .metrics import BacklogSample
+
+
+@dataclass(frozen=True)
+class OverloadVerdict:
+    """Outcome of the steady-state analysis of one run."""
+
+    overloaded: bool
+    backlog_slope_per_hour: float
+    mean_backlog: float
+    final_backlog: int
+    arrival_rate_per_hour: float
+    completion_rate_per_hour: float
+
+    @property
+    def utilization_of_arrivals(self) -> float:
+        """Completions / arrivals over the analysis window."""
+        if self.arrival_rate_per_hour <= 0:
+            return math.nan
+        return self.completion_rate_per_hour / self.arrival_rate_per_hour
+
+
+def analyse_backlog(
+    samples: Sequence[BacklogSample],
+    warmup_time: float,
+    jobs_arrived: int,
+    jobs_completed: int,
+    duration: float,
+    slope_tolerance: float = 0.05,
+    completion_tolerance: float = 0.97,
+) -> OverloadVerdict:
+    """Classify a run as steady-state or overloaded.
+
+    ``slope_tolerance`` is the fraction of the arrival rate the backlog
+    may grow at before the run counts as overloaded (default 5 %);
+    ``completion_tolerance`` is the minimum completion/arrival ratio of a
+    steady-state run.
+    """
+    measured = [s for s in samples if s.time >= warmup_time]
+    measure_span = max(duration - warmup_time, 1e-9)
+    arrival_rate = jobs_arrived * units.HOUR / max(duration, 1e-9)
+    completion_rate = jobs_completed * units.HOUR / max(duration, 1e-9)
+
+    if len(measured) < 4:
+        # Not enough probes to fit a trend; fall back to rate comparison.
+        overloaded = (
+            jobs_arrived > 10
+            and jobs_completed < completion_tolerance * jobs_arrived
+        )
+        return OverloadVerdict(
+            overloaded=overloaded,
+            backlog_slope_per_hour=math.nan,
+            mean_backlog=math.nan,
+            final_backlog=jobs_arrived - jobs_completed,
+            arrival_rate_per_hour=arrival_rate,
+            completion_rate_per_hour=completion_rate,
+        )
+
+    times = np.array([s.time for s in measured], dtype=float)
+    backlog = np.array([s.jobs_in_system for s in measured], dtype=float)
+    # Least-squares slope in jobs/hour.
+    hours = (times - times[0]) / units.HOUR
+    slope = float(np.polyfit(hours, backlog, deg=1)[0])
+    mean_backlog = float(np.mean(backlog))
+
+    growing = slope > slope_tolerance * max(arrival_rate, 1e-9)
+    # Require material absolute growth too, so tiny-but-noisy backlogs at
+    # low load never trip the detector.
+    span_hours = hours[-1] if hours[-1] > 0 else 1.0
+    grew_by = slope * span_hours
+    materially_growing = growing and grew_by > max(3.0, 0.25 * mean_backlog)
+
+    starving = completion_rate < completion_tolerance * arrival_rate
+
+    overloaded = bool(materially_growing and starving)
+    return OverloadVerdict(
+        overloaded=overloaded,
+        backlog_slope_per_hour=slope,
+        mean_backlog=mean_backlog,
+        final_backlog=jobs_arrived - jobs_completed,
+        arrival_rate_per_hour=arrival_rate,
+        completion_rate_per_hour=completion_rate,
+    )

@@ -1,0 +1,174 @@
+"""Experiment runner: parameter sweeps with optional multiprocessing.
+
+A sweep is a list of :class:`RunSpec` (config + policy + parameters); the
+runner executes them — serially or across worker processes — and returns
+:class:`SweepResult`, which knows how to extract the (load → metric)
+series the paper's figures are made of.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .config import SimulationConfig
+from .simulator import SimulationResult, run_simulation
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One point of a sweep."""
+
+    config: SimulationConfig
+    policy: str
+    policy_params: Tuple[Tuple[str, object], ...] = ()
+    label: str = ""
+
+    @classmethod
+    def make(
+        cls,
+        config: SimulationConfig,
+        policy: str,
+        label: str = "",
+        **policy_params,
+    ) -> "RunSpec":
+        return cls(
+            config=config,
+            policy=policy,
+            policy_params=tuple(sorted(policy_params.items())),
+            label=label or policy,
+        )
+
+
+def _execute(spec: RunSpec) -> SimulationResult:
+    return run_simulation(spec.config, spec.policy, **dict(spec.policy_params))
+
+
+@dataclass
+class SweepResult:
+    """Results of a sweep, keyed by spec order."""
+
+    specs: List[RunSpec]
+    results: List[SimulationResult]
+
+    def by_label(self) -> Dict[str, List[SimulationResult]]:
+        """Group results by spec label, preserving order within groups."""
+        groups: Dict[str, List[SimulationResult]] = {}
+        for spec, result in zip(self.specs, self.results):
+            groups.setdefault(spec.label, []).append(result)
+        return groups
+
+    def series(
+        self, metric: str, include_overloaded: bool = False
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """(load, metric) points per label — the paper's figure format.
+
+        Overloaded points are dropped by default, mirroring the paper's
+        "curves are cut at high loads when the cluster becomes
+        overloaded".
+        """
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        for label, results in self.by_label().items():
+            points: List[Tuple[float, float]] = []
+            for result in results:
+                if result.overload.overloaded and not include_overloaded:
+                    continue
+                points.append((result.load_per_hour, _metric(result, metric)))
+            points.sort()
+            out[label] = points
+        return out
+
+    def max_sustained_load(self) -> Dict[str, float]:
+        """Highest non-overloaded load per label (0.0 if none)."""
+        out: Dict[str, float] = {}
+        for label, results in self.by_label().items():
+            sustained = [r.load_per_hour for r in results if r.steady]
+            out[label] = max(sustained) if sustained else 0.0
+        return out
+
+    def to_json(self) -> str:
+        payload = []
+        for spec, result in zip(self.specs, self.results):
+            payload.append(
+                {
+                    "label": spec.label,
+                    "policy": spec.policy,
+                    "policy_params": dict(spec.policy_params),
+                    "load_per_hour": result.load_per_hour,
+                    "mean_speedup": result.measured.mean_speedup,
+                    "mean_waiting": result.measured.mean_waiting,
+                    "mean_waiting_excl_delay": result.measured.mean_waiting_excl_delay,
+                    "mean_processing": result.measured.mean_processing,
+                    "n_jobs": result.measured.n_jobs,
+                    "overloaded": result.overload.overloaded,
+                    "tertiary_redundancy": result.tertiary_redundancy,
+                    "node_utilization": result.node_utilization,
+                }
+            )
+        return json.dumps(payload, indent=2, default=float)
+
+
+def _metric(result: SimulationResult, metric: str) -> float:
+    if metric == "speedup":
+        return result.measured.mean_speedup
+    if metric == "waiting":
+        return result.measured.mean_waiting
+    if metric == "waiting_excl_delay":
+        return result.measured.mean_waiting_excl_delay
+    if metric == "processing":
+        return result.measured.mean_processing
+    if metric == "sojourn":
+        return result.measured.mean_sojourn
+    if metric == "utilization":
+        return result.node_utilization
+    if metric == "redundancy":
+        return result.tertiary_redundancy
+    raise KeyError(f"unknown metric {metric!r}")
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    processes: Optional[int] = None,
+    progress: bool = False,
+) -> SweepResult:
+    """Run all specs; ``processes=None`` picks a sensible default
+    (serial for small sweeps, a process pool otherwise)."""
+    specs = list(specs)
+    if processes is None:
+        processes = 1 if len(specs) <= 2 else min(len(specs), os.cpu_count() or 1)
+    if processes <= 1:
+        results = []
+        for index, spec in enumerate(specs):
+            result = _execute(spec)
+            if progress:  # pragma: no cover - console feedback only
+                print(f"[{index + 1}/{len(specs)}] {result.brief()}", flush=True)
+            results.append(result)
+        return SweepResult(specs=specs, results=results)
+    with multiprocessing.Pool(processes=processes) as pool:
+        results = pool.map(_execute, specs)
+    if progress:  # pragma: no cover
+        for result in results:
+            print(result.brief(), flush=True)
+    return SweepResult(specs=specs, results=results)
+
+
+def load_sweep(
+    base_config: SimulationConfig,
+    policy: str,
+    loads_per_hour: Iterable[float],
+    label: str = "",
+    **policy_params,
+) -> List[RunSpec]:
+    """Specs for one policy across several offered loads."""
+    return [
+        RunSpec.make(
+            base_config.with_(arrival_rate_per_hour=load),
+            policy,
+            label=label or policy,
+            **policy_params,
+        )
+        for load in loads_per_hour
+    ]

@@ -1,0 +1,257 @@
+"""The simulation: engine + cluster + workload + policy, wired together.
+
+:class:`Simulation` owns the run lifecycle — it schedules arrivals from a
+workload trace or generator, routes node completions to the policy
+(splitting them into the paper's "subjob end" vs "job end" notifications),
+probes the backlog for overload analysis and collects per-job records —
+and returns a pickleable :class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core import units
+from ..core.engine import Engine
+from ..core.events import EventPriority
+from ..core.rng import RandomStreams
+from ..cluster.cluster import Cluster
+from ..cluster.costmodel import DataSource
+from ..cluster.node import Node
+from ..data.tertiary import TertiaryStorage
+from ..sched.base import SchedulerContext, SchedulerPolicy, create_policy
+from ..workload.generator import WorkloadGenerator
+from ..workload.jobs import Job, JobRequest, Subjob
+from .config import SimulationConfig
+from .metrics import JobRecord, MetricsCollector, PerformanceSummary
+from .overload import OverloadVerdict, analyse_backlog
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced (pickleable for multiprocessing sweeps)."""
+
+    config: SimulationConfig
+    policy_name: str
+    policy_params: Dict[str, object]
+    policy_stats: Dict[str, float]
+    records: List[JobRecord]
+    measured: PerformanceSummary
+    overload: OverloadVerdict
+    jobs_arrived: int
+    jobs_completed: int
+    tertiary_events_read: int
+    tertiary_distinct_events: int
+    tertiary_redundancy: float
+    node_utilization: float
+    events_by_source: Dict[str, int]
+    engine_events: int
+    wall_seconds: float
+
+    # -- convenience accessors used by the figure harness ------------------------
+
+    @property
+    def load_per_hour(self) -> float:
+        return self.config.arrival_rate_per_hour
+
+    @property
+    def mean_speedup(self) -> float:
+        return self.measured.mean_speedup
+
+    @property
+    def mean_waiting(self) -> float:
+        return self.measured.mean_waiting
+
+    @property
+    def mean_waiting_excl_delay(self) -> float:
+        return self.measured.mean_waiting_excl_delay
+
+    @property
+    def steady(self) -> bool:
+        return not self.overload.overloaded
+
+    def cache_hit_fraction(self) -> float:
+        total = sum(self.events_by_source.values())
+        if total == 0:
+            return math.nan
+        hits = self.events_by_source.get(DataSource.CACHE.value, 0)
+        hits += self.events_by_source.get(DataSource.REMOTE.value, 0)
+        return hits / total
+
+    def brief(self) -> str:
+        """One-line summary for logs and benches."""
+        state = "steady" if self.steady else "OVERLOADED"
+        return (
+            f"{self.policy_name:>15s} load={self.load_per_hour:5.2f}/h "
+            f"speedup={self.measured.mean_speedup:6.2f} "
+            f"wait={units.fmt_duration(self.measured.mean_waiting):>8s} "
+            f"jobs={self.measured.n_jobs:4d} [{state}]"
+        )
+
+
+class Simulation:
+    """One simulation run of one policy under one configuration."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: SchedulerPolicy,
+        trace: Optional[Sequence[JobRequest]] = None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.engine = Engine()
+        self.streams = RandomStreams(config.seed)
+        dataspace = config.dataspace()
+        self.tertiary = TertiaryStorage(dataspace)
+        planner = policy.make_planner(self.tertiary)
+        self.cluster = Cluster(
+            engine=self.engine,
+            n_nodes=config.n_nodes,
+            cache_capacity_events=config.cache_events,
+            cost_model=config.cost_model(),
+            planner=planner,
+            chunk_events=config.chunk_events,
+            speed_factors=(
+                list(config.node_speed_factors)
+                if config.node_speed_factors is not None
+                else None
+            ),
+        )
+        self.metrics = MetricsCollector(config.cost_model().uncached_event_time)
+        self.jobs: Dict[int, Job] = {}
+        self._trace = list(trace) if trace is not None else None
+        self._primed = False
+
+        self.cluster.set_completion_callback(self._on_subjob_complete)
+        policy.bind(
+            SchedulerContext(
+                engine=self.engine,
+                cluster=self.cluster,
+                config=config,
+                tertiary=self.tertiary,
+            )
+        )
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _make_workload(self) -> List[JobRequest]:
+        if self._trace is not None:
+            return [r for r in self._trace if r.arrival_time < self.config.duration]
+        generator = WorkloadGenerator(
+            dataspace=self.config.dataspace(),
+            arrival_rate_per_hour=self.config.arrival_rate_per_hour,
+            job_size=self.config.job_size_distribution(),
+            start_distribution=self.config.start_distribution(),
+            streams=self.streams,
+        )
+        return generator.generate_list(self.config.duration)
+
+    def _on_arrival(self, request: JobRequest) -> None:
+        job = Job(request)
+        self.jobs[job.job_id] = job
+        self.metrics.on_arrival(job)
+        self.policy.on_job_arrival(job)
+
+    def _on_subjob_complete(self, node: Node, subjob: Subjob) -> None:
+        job = subjob.job
+        if job.maybe_complete(self.engine.now):
+            self.metrics.on_completion(job)
+            self.policy.on_job_end(node, job, subjob)
+        else:
+            self.policy.on_subjob_end(node, subjob)
+
+    def _probe(self) -> None:
+        self.metrics.probe(self.engine.now, len(self.cluster.busy_nodes()))
+        if self.engine.now + self.config.probe_interval <= self.config.duration:
+            self.engine.call_after(
+                self.config.probe_interval,
+                self._probe,
+                priority=EventPriority.PROBE,
+                label="probe",
+            )
+
+    # -- run ----------------------------------------------------------------------
+
+    def prime(self) -> None:
+        """Schedule the workload arrivals and backlog probes.
+
+        Called automatically by :meth:`run`; call it directly when driving
+        the engine manually (e.g. stepping a policy in tests).
+        """
+        if self._primed:
+            return
+        self._primed = True
+        for request in self._make_workload():
+            self.engine.call_at(
+                request.arrival_time,
+                self._on_arrival,
+                request,
+                priority=EventPriority.ARRIVAL,
+                label=f"arrival:{request.job_id}",
+            )
+        self.engine.call_at(0.0, self._probe, priority=EventPriority.PROBE)
+
+    def run(self) -> SimulationResult:
+        started = time.perf_counter()
+        self.prime()
+        self.engine.run(until=self.config.duration)
+        wall = time.perf_counter() - started
+        return self._build_result(wall)
+
+    def _build_result(self, wall_seconds: float) -> SimulationResult:
+        config = self.config
+        measured_records = self.metrics.measured_records(config.warmup_time)
+        measure_interval = config.duration - config.warmup_time
+        summary = PerformanceSummary.from_records(
+            measured_records, measure_interval=measure_interval
+        )
+        verdict = analyse_backlog(
+            self.metrics.backlog,
+            warmup_time=config.warmup_time,
+            jobs_arrived=self.metrics.jobs_arrived,
+            jobs_completed=self.metrics.jobs_completed,
+            duration=config.duration,
+        )
+        events_by_source: Dict[str, int] = {s.value: 0 for s in DataSource}
+        for node in self.cluster:
+            for source, count in node.stats.events_by_source.items():
+                events_by_source[source.value] += count
+        return SimulationResult(
+            config=config,
+            policy_name=self.policy.name,
+            policy_params=self.policy.describe(),
+            policy_stats=self.policy.extra_stats(),
+            records=self.metrics.records,
+            measured=summary,
+            overload=verdict,
+            jobs_arrived=self.metrics.jobs_arrived,
+            jobs_completed=self.metrics.jobs_completed,
+            tertiary_events_read=self.tertiary.stats.events_read,
+            tertiary_distinct_events=self.tertiary.distinct_events_read,
+            tertiary_redundancy=self.tertiary.redundancy_factor,
+            node_utilization=self.cluster.utilization(config.duration),
+            events_by_source=events_by_source,
+            engine_events=self.engine.stats.dispatched,
+            wall_seconds=wall_seconds,
+        )
+
+
+def run_simulation(
+    config: SimulationConfig,
+    policy: str,
+    trace: Optional[Sequence[JobRequest]] = None,
+    **policy_params,
+) -> SimulationResult:
+    """Build and run one simulation; the library's main entry point.
+
+    >>> from repro.sim.config import quick_config
+    >>> result = run_simulation(quick_config(duration=86400.0), "farm")
+    >>> result.policy_name
+    'farm'
+    """
+    policy_instance = create_policy(policy, **policy_params)
+    return Simulation(config, policy_instance, trace=trace).run()

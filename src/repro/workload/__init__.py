@@ -1,0 +1,53 @@
+"""Workload model: jobs, distributions, generators, traces."""
+
+from .distributions import (
+    ErlangJobSize,
+    HotRegion,
+    HotspotStartDistribution,
+    PoissonArrivals,
+    uniform_start_distribution,
+)
+from .characterize import (
+    WorkloadProfile,
+    characterize,
+    estimate_arrivals,
+    estimate_job_size,
+    find_hot_regions,
+)
+from .generator import WorkloadGenerator
+from .scenarios import (
+    DiurnalWorkload,
+    PhasedWorkload,
+    RateFunctionWorkload,
+    workload_from_config,
+)
+from .jobs import Job, JobRequest, JobState, MetaSubjob, Subjob, SubjobState
+from .trace import load_trace, save_trace, scale_trace_load, validate_trace
+
+__all__ = [
+    "Job",
+    "JobRequest",
+    "JobState",
+    "Subjob",
+    "SubjobState",
+    "MetaSubjob",
+    "ErlangJobSize",
+    "PoissonArrivals",
+    "HotRegion",
+    "HotspotStartDistribution",
+    "uniform_start_distribution",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "characterize",
+    "estimate_arrivals",
+    "estimate_job_size",
+    "find_hot_regions",
+    "PhasedWorkload",
+    "DiurnalWorkload",
+    "RateFunctionWorkload",
+    "workload_from_config",
+    "save_trace",
+    "load_trace",
+    "validate_trace",
+    "scale_trace_load",
+]

@@ -1,0 +1,167 @@
+"""Workload characterization: recover the §2.4 model from a trace.
+
+The inverse of :mod:`repro.workload.generator`: given a job-request trace
+(ours, or a real batch-system log converted to :class:`JobRequest`),
+estimate the parameters the paper's workload model is built from —
+
+* the arrival rate and the exponential-ness of the inter-arrival gaps,
+* the Erlang shape/mean of the job-size distribution (method of moments),
+* hot regions of the data space (start-point density scan).
+
+Useful both as a sanity check (our generator round-trips) and as the
+path from production logs to a simulation configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core import units
+from ..core.errors import WorkloadError
+from .jobs import JobRequest
+
+
+@dataclass(frozen=True)
+class ArrivalEstimate:
+    rate_per_hour: float
+    interarrival_cv: float  # 1.0 for a Poisson process
+
+    @property
+    def poisson_like(self) -> bool:
+        """CV within 15 % of the exponential's 1.0."""
+        return abs(self.interarrival_cv - 1.0) < 0.15
+
+
+@dataclass(frozen=True)
+class JobSizeEstimate:
+    mean_events: float
+    std_events: float
+    erlang_shape: int  # method-of-moments round(mean² / variance)
+
+    @property
+    def squared_cv(self) -> float:
+        if self.mean_events == 0:
+            return math.nan
+        return (self.std_events / self.mean_events) ** 2
+
+
+@dataclass(frozen=True)
+class HotRegionEstimate:
+    start_fraction: float
+    length_fraction: float
+    start_share: float  # fraction of all job starts landing here
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    n_jobs: int
+    span_days: float
+    arrivals: ArrivalEstimate
+    job_size: JobSizeEstimate
+    hot_regions: Tuple[HotRegionEstimate, ...]
+
+    def summary_rows(self) -> List[List[object]]:
+        rows: List[List[object]] = [
+            ["jobs", self.n_jobs],
+            ["span (days)", f"{self.span_days:.1f}"],
+            ["arrival rate (jobs/h)", f"{self.arrivals.rate_per_hour:.3f}"],
+            ["inter-arrival CV (Poisson: 1)", f"{self.arrivals.interarrival_cv:.2f}"],
+            ["mean job size (events)", f"{self.job_size.mean_events:,.0f}"],
+            ["Erlang shape (moments)", self.job_size.erlang_shape],
+        ]
+        for index, region in enumerate(self.hot_regions):
+            rows.append(
+                [
+                    f"hot region {index + 1}",
+                    f"[{region.start_fraction:.2f}, "
+                    f"{region.start_fraction + region.length_fraction:.2f}) "
+                    f"holds {region.start_share:.0%} of starts",
+                ]
+            )
+        return rows
+
+
+def estimate_arrivals(requests: Sequence[JobRequest]) -> ArrivalEstimate:
+    """Rate and inter-arrival CV from a sorted trace."""
+    if len(requests) < 3:
+        raise WorkloadError("need at least 3 jobs to characterise arrivals")
+    times = np.array([r.arrival_time for r in requests], dtype=float)
+    gaps = np.diff(times)
+    if np.any(gaps < 0):
+        raise WorkloadError("trace is not sorted by arrival time")
+    mean_gap = float(gaps.mean())
+    if mean_gap == 0:
+        raise WorkloadError("all jobs arrive simultaneously")
+    return ArrivalEstimate(
+        rate_per_hour=units.HOUR / mean_gap,
+        interarrival_cv=float(gaps.std(ddof=1) / mean_gap),
+    )
+
+
+def estimate_job_size(requests: Sequence[JobRequest]) -> JobSizeEstimate:
+    """Erlang parameters by the method of moments: k = mean² / variance."""
+    sizes = np.array([r.n_events for r in requests], dtype=float)
+    if sizes.size < 3:
+        raise WorkloadError("need at least 3 jobs to characterise sizes")
+    mean = float(sizes.mean())
+    variance = float(sizes.var(ddof=1))
+    shape = max(1, int(round(mean**2 / variance))) if variance > 0 else 1
+    return JobSizeEstimate(
+        mean_events=mean, std_events=math.sqrt(variance), erlang_shape=shape
+    )
+
+
+def find_hot_regions(
+    requests: Sequence[JobRequest],
+    total_events: int,
+    n_bins: int = 40,
+    density_threshold: float = 2.0,
+) -> Tuple[HotRegionEstimate, ...]:
+    """Contiguous bins whose start density exceeds ``density_threshold``
+    times uniform, merged into regions."""
+    if total_events <= 0:
+        raise WorkloadError(f"total_events must be > 0, got {total_events}")
+    starts = np.array([r.start_event for r in requests], dtype=float)
+    if starts.size == 0:
+        return ()
+    counts, edges = np.histogram(starts, bins=n_bins, range=(0, total_events))
+    uniform = starts.size / n_bins
+    hot = counts > density_threshold * uniform
+    regions: List[HotRegionEstimate] = []
+    index = 0
+    while index < n_bins:
+        if not hot[index]:
+            index += 1
+            continue
+        begin = index
+        while index < n_bins and hot[index]:
+            index += 1
+        share = float(counts[begin:index].sum()) / starts.size
+        regions.append(
+            HotRegionEstimate(
+                start_fraction=float(edges[begin]) / total_events,
+                length_fraction=float(edges[index] - edges[begin]) / total_events,
+                start_share=share,
+            )
+        )
+    return tuple(regions)
+
+
+def characterize(
+    requests: Sequence[JobRequest], total_events: int
+) -> WorkloadProfile:
+    """Full §2.4-style profile of a trace."""
+    if not requests:
+        raise WorkloadError("empty trace")
+    span = requests[-1].arrival_time - requests[0].arrival_time
+    return WorkloadProfile(
+        n_jobs=len(requests),
+        span_days=span / units.DAY,
+        arrivals=estimate_arrivals(requests),
+        job_size=estimate_job_size(requests),
+        hot_regions=find_hot_regions(requests, total_events),
+    )

@@ -1,0 +1,74 @@
+"""Workload generation: reproducible streams of job requests."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..core import units
+from ..core.errors import WorkloadError
+from ..core.rng import RandomStreams
+from ..data.dataspace import DataSpace
+from .distributions import (
+    ErlangJobSize,
+    HotspotStartDistribution,
+    PoissonArrivals,
+)
+from .jobs import JobRequest
+
+
+class WorkloadGenerator:
+    """Generates the paper's workload: Poisson arrivals of Erlang-sized
+    jobs starting at hotspot-distributed positions.
+
+    The generator is lazy and deterministic: the ``k``-th request for a
+    given (seed, parameters) is always the same, whatever was consumed
+    before through other streams.
+    """
+
+    def __init__(
+        self,
+        dataspace: DataSpace,
+        arrival_rate_per_hour: float,
+        job_size: ErlangJobSize,
+        start_distribution: HotspotStartDistribution,
+        streams: RandomStreams,
+    ) -> None:
+        if arrival_rate_per_hour <= 0:
+            raise WorkloadError(
+                f"arrival rate must be > 0 jobs/hour, got {arrival_rate_per_hour}"
+            )
+        self.dataspace = dataspace
+        self.arrivals = PoissonArrivals(units.per_hour(arrival_rate_per_hour))
+        self.job_size = job_size
+        self.start_distribution = start_distribution
+        self._rng_arrivals = streams.get("workload.arrivals")
+        self._rng_sizes = streams.get("workload.sizes")
+        self._rng_starts = streams.get("workload.starts")
+
+    def generate(
+        self, horizon: float, max_jobs: Optional[int] = None
+    ) -> Iterator[JobRequest]:
+        """Yield requests with arrival times in ``[0, horizon)``."""
+        clock = 0.0
+        job_id = 0
+        while True:
+            clock += self.arrivals.next_interval(self._rng_arrivals)
+            if clock >= horizon:
+                return
+            if max_jobs is not None and job_id >= max_jobs:
+                return
+            n_events = self.job_size.sample(self._rng_sizes)
+            n_events = min(n_events, self.dataspace.total_events)
+            start = self.start_distribution.sample_start(self._rng_starts, n_events)
+            yield JobRequest(
+                job_id=job_id,
+                arrival_time=clock,
+                start_event=start,
+                n_events=n_events,
+            )
+            job_id += 1
+
+    def generate_list(
+        self, horizon: float, max_jobs: Optional[int] = None
+    ) -> List[JobRequest]:
+        return list(self.generate(horizon, max_jobs))

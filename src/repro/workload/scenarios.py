@@ -1,0 +1,206 @@
+"""Non-stationary workload scenarios.
+
+The paper evaluates constant Poisson loads; the adaptive policy (§6),
+however, exists precisely because real analysis traffic fluctuates — a
+conference deadline, a new detector run, night/day rhythms.  This module
+generates such traffic:
+
+* :class:`PhasedWorkload` — piecewise-constant arrival rates (a load
+  spike, a step change);
+* :class:`DiurnalWorkload` — sinusoidal day/night modulation;
+* :class:`RateFunctionWorkload` — any rate function, via Lewis-Shedler
+  thinning of a homogeneous Poisson process.
+
+All of them reuse the §2.4 job-size and hot-region start distributions and
+produce ordinary :class:`~repro.workload.jobs.JobRequest` traces, so every
+policy and experiment consumes them unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+from ..core import units
+from ..core.errors import WorkloadError
+from ..core.rng import RandomStreams
+from ..data.dataspace import DataSpace
+from .distributions import ErlangJobSize, HotspotStartDistribution
+from .jobs import JobRequest
+
+
+class RateFunctionWorkload:
+    """Non-homogeneous Poisson arrivals via Lewis–Shedler thinning.
+
+    ``rate_fn(t)`` gives the instantaneous arrival rate (jobs/second) and
+    must be bounded by ``rate_max``; candidate arrivals drawn at
+    ``rate_max`` are accepted with probability ``rate_fn(t) / rate_max``,
+    which yields exactly the target process.
+    """
+
+    def __init__(
+        self,
+        dataspace: DataSpace,
+        rate_fn: Callable[[float], float],
+        rate_max: float,
+        job_size: ErlangJobSize,
+        start_distribution: HotspotStartDistribution,
+        streams: RandomStreams,
+    ) -> None:
+        if rate_max <= 0:
+            raise WorkloadError(f"rate_max must be > 0, got {rate_max}")
+        self.dataspace = dataspace
+        self.rate_fn = rate_fn
+        self.rate_max = float(rate_max)
+        self.job_size = job_size
+        self.start_distribution = start_distribution
+        self._rng_arrivals = streams.get("scenario.arrivals")
+        self._rng_thinning = streams.get("scenario.thinning")
+        self._rng_sizes = streams.get("scenario.sizes")
+        self._rng_starts = streams.get("scenario.starts")
+
+    def generate_list(self, horizon: float) -> List[JobRequest]:
+        requests: List[JobRequest] = []
+        clock = 0.0
+        job_id = 0
+        while True:
+            clock += self._rng_arrivals.exponential(1.0 / self.rate_max)
+            if clock >= horizon:
+                return requests
+            rate = self.rate_fn(clock)
+            if rate < 0 or rate > self.rate_max * (1 + 1e-9):
+                raise WorkloadError(
+                    f"rate_fn({clock:.0f}) = {rate} outside [0, rate_max]"
+                )
+            if self._rng_thinning.random() >= rate / self.rate_max:
+                continue  # thinned out
+            n_events = min(
+                self.job_size.sample(self._rng_sizes), self.dataspace.total_events
+            )
+            start = self.start_distribution.sample_start(self._rng_starts, n_events)
+            requests.append(
+                JobRequest(
+                    job_id=job_id,
+                    arrival_time=clock,
+                    start_event=start,
+                    n_events=n_events,
+                )
+            )
+            job_id += 1
+
+
+class PhasedWorkload(RateFunctionWorkload):
+    """Piecewise-constant arrival rates: ``[(rate_per_hour, days), ...]``.
+
+    >>> # a week at 1.2/h, a 5-day spike at 2.6/h, back to 1.2/h
+    >>> phases = [(1.2, 7.0), (2.6, 5.0), (1.2, 9.0)]
+    """
+
+    def __init__(
+        self,
+        dataspace: DataSpace,
+        phases: Sequence[Tuple[float, float]],
+        job_size: ErlangJobSize,
+        start_distribution: HotspotStartDistribution,
+        streams: RandomStreams,
+    ) -> None:
+        if not phases:
+            raise WorkloadError("need at least one phase")
+        for rate, days in phases:
+            if rate < 0 or days <= 0:
+                raise WorkloadError(f"bad phase ({rate}/h, {days} days)")
+        self.phases = [(rate, days) for rate, days in phases]
+        boundaries: List[float] = [0.0]
+        for _, days in self.phases:
+            boundaries.append(boundaries[-1] + days * units.DAY)
+        self._boundaries = boundaries
+
+        def rate_fn(t: float) -> float:
+            for (rate, _), start, end in zip(
+                self.phases, boundaries, boundaries[1:]
+            ):
+                if start <= t < end:
+                    return units.per_hour(rate)
+            return 0.0
+
+        rate_max = units.per_hour(max(rate for rate, _ in self.phases))
+        super().__init__(
+            dataspace, rate_fn, rate_max, job_size, start_distribution, streams
+        )
+
+    @property
+    def total_duration(self) -> float:
+        return self._boundaries[-1]
+
+    def phase_bounds(self) -> List[Tuple[float, float]]:
+        """(start, end) of each phase in seconds."""
+        return list(zip(self._boundaries, self._boundaries[1:]))
+
+    def generate_list(self, horizon: float = None) -> List[JobRequest]:  # type: ignore[assignment]
+        if horizon is None:
+            horizon = self.total_duration
+        return super().generate_list(horizon)
+
+
+class DiurnalWorkload(RateFunctionWorkload):
+    """Sinusoidal day/night load: mean rate ± amplitude, period 24 h.
+
+    ``peak_hour`` places the daily maximum (e.g. 15.0 for mid-afternoon,
+    when the paper's physicists submit most).
+    """
+
+    def __init__(
+        self,
+        dataspace: DataSpace,
+        mean_rate_per_hour: float,
+        amplitude_per_hour: float,
+        job_size: ErlangJobSize,
+        start_distribution: HotspotStartDistribution,
+        streams: RandomStreams,
+        peak_hour: float = 15.0,
+    ) -> None:
+        if amplitude_per_hour < 0 or amplitude_per_hour > mean_rate_per_hour:
+            raise WorkloadError(
+                "amplitude must be within [0, mean] to keep the rate >= 0"
+            )
+        mean = units.per_hour(mean_rate_per_hour)
+        amplitude = units.per_hour(amplitude_per_hour)
+        phase_shift = peak_hour * units.HOUR
+
+        def rate_fn(t: float) -> float:
+            return mean + amplitude * math.cos(
+                2 * math.pi * (t - phase_shift) / units.DAY
+            )
+
+        super().__init__(
+            dataspace,
+            rate_fn,
+            mean + amplitude,
+            job_size,
+            start_distribution,
+            streams,
+        )
+
+
+def workload_from_config(config, kind: str = "constant", **kwargs):
+    """Build a scenario from a :class:`SimulationConfig`.
+
+    ``kind``: ``"phased"`` (requires ``phases=[(rate, days), ...]``) or
+    ``"diurnal"`` (requires ``mean_rate_per_hour``/``amplitude_per_hour``).
+    """
+    common = dict(
+        dataspace=config.dataspace(),
+        job_size=config.job_size_distribution(),
+        start_distribution=config.start_distribution(),
+        streams=RandomStreams(config.seed),
+    )
+    if kind == "phased":
+        return PhasedWorkload(phases=kwargs["phases"], **common)
+    if kind == "diurnal":
+        return DiurnalWorkload(
+            mean_rate_per_hour=kwargs["mean_rate_per_hour"],
+            amplitude_per_hour=kwargs["amplitude_per_hour"],
+            peak_hour=kwargs.get("peak_hour", 15.0),
+            **common,
+        )
+    raise WorkloadError(f"unknown scenario kind {kind!r}")

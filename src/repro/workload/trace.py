@@ -1,0 +1,102 @@
+"""Workload traces: persist and replay exact job-request streams.
+
+Traces make experiments repeatable across policies: every policy in a
+comparison sees byte-identical arrivals.  The format is JSON lines — one
+request per line — so traces diff cleanly and stream without loading.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from ..core.errors import WorkloadError
+from .jobs import JobRequest
+
+PathLike = Union[str, Path]
+
+_FIELDS = ("job_id", "arrival_time", "start_event", "n_events")
+
+
+def request_to_dict(request: JobRequest) -> dict:
+    return {name: getattr(request, name) for name in _FIELDS}
+
+
+def request_from_dict(payload: dict) -> JobRequest:
+    try:
+        return JobRequest(
+            job_id=int(payload["job_id"]),
+            arrival_time=float(payload["arrival_time"]),
+            start_event=int(payload["start_event"]),
+            n_events=int(payload["n_events"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadError(f"malformed trace entry {payload!r}: {exc}") from exc
+
+
+def save_trace(path: PathLike, requests: Iterable[JobRequest]) -> int:
+    """Write requests as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for request in requests:
+            handle.write(json.dumps(request_to_dict(request)) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> List[JobRequest]:
+    """Read a JSONL trace, validating ordering and uniqueness."""
+    requests: List[JobRequest] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(f"{path}:{line_number}: invalid JSON") from exc
+            requests.append(request_from_dict(payload))
+    validate_trace(requests)
+    return requests
+
+
+def validate_trace(requests: Sequence[JobRequest]) -> None:
+    """Check a trace is well-formed: sorted arrivals, unique ids,
+    positive sizes."""
+    previous_time = float("-inf")
+    seen_ids = set()
+    for request in requests:
+        if request.arrival_time < previous_time:
+            raise WorkloadError(
+                f"trace not sorted by arrival: job {request.job_id} at "
+                f"{request.arrival_time} after {previous_time}"
+            )
+        previous_time = request.arrival_time
+        if request.job_id in seen_ids:
+            raise WorkloadError(f"duplicate job id {request.job_id}")
+        seen_ids.add(request.job_id)
+        if request.n_events <= 0:
+            raise WorkloadError(f"job {request.job_id} has no events")
+        if request.start_event < 0:
+            raise WorkloadError(f"job {request.job_id} starts below 0")
+
+
+def scale_trace_load(
+    requests: Sequence[JobRequest], factor: float
+) -> List[JobRequest]:
+    """Rescale a trace's offered load by ``factor`` (>1 compresses
+    arrival times, increasing jobs/hour).  Sizes and positions are kept,
+    so cache-affinity structure is preserved across load points."""
+    if factor <= 0:
+        raise WorkloadError(f"load factor must be > 0, got {factor}")
+    return [
+        JobRequest(
+            job_id=r.job_id,
+            arrival_time=r.arrival_time / factor,
+            start_event=r.start_event,
+            n_events=r.n_events,
+        )
+        for r in requests
+    ]

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.access import CachingPlanner, NoCachePlanner
+from repro.cluster.cluster import Cluster
+from repro.cluster.costmodel import CostModel
+from repro.core.engine import Engine
+from repro.core.rng import RandomStreams
+from repro.core import units
+from repro.data.dataspace import DataSpace
+from repro.data.tertiary import TertiaryStorage
+from repro.sim.config import SimulationConfig, paper_config, quick_config
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(12345)
+
+
+@pytest.fixture
+def dataspace() -> DataSpace:
+    return DataSpace(total_events=100_000, event_bytes=600 * units.KB)
+
+
+@pytest.fixture
+def tertiary(dataspace) -> TertiaryStorage:
+    return TertiaryStorage(dataspace)
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel.from_hardware(600 * units.KB)
+
+
+def make_cluster(
+    engine: Engine,
+    tertiary: TertiaryStorage,
+    n_nodes: int = 3,
+    cache_events: int = 10_000,
+    chunk_events: int = 500,
+    caching: bool = True,
+) -> Cluster:
+    planner = (
+        CachingPlanner(tertiary) if caching else NoCachePlanner(tertiary)
+    )
+    return Cluster(
+        engine=engine,
+        n_nodes=n_nodes,
+        cache_capacity_events=cache_events,
+        cost_model=CostModel.from_hardware(600 * units.KB),
+        planner=planner,
+        chunk_events=chunk_events,
+    )
+
+
+@pytest.fixture
+def cluster(engine, tertiary) -> Cluster:
+    return make_cluster(engine, tertiary)
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A very small, fast configuration for end-to-end policy tests."""
+    return quick_config(
+        duration=3 * units.DAY,
+        arrival_rate_per_hour=2.0,
+        seed=42,
+        warmup_fraction=0.2,
+    )
+
+
+@pytest.fixture
+def paper_cfg() -> SimulationConfig:
+    return paper_config()

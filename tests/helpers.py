@@ -1,0 +1,25 @@
+"""Small construction helpers shared by the test modules."""
+
+from __future__ import annotations
+
+from repro.workload.jobs import Job, JobRequest, Subjob
+
+_next_id = [0]
+
+
+def make_job(start: int = 0, n_events: int = 100, arrival: float = 0.0) -> Job:
+    """A fresh Job with a unique id."""
+    _next_id[0] += 1
+    return Job(
+        JobRequest(
+            job_id=_next_id[0],
+            arrival_time=arrival,
+            start_event=start,
+            n_events=n_events,
+        )
+    )
+
+
+def make_subjob(start: int = 0, n_events: int = 100, arrival: float = 0.0) -> Subjob:
+    """A fresh root subjob covering its whole (fresh) job."""
+    return make_job(start, n_events, arrival).make_root_subjob()

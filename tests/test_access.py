@@ -1,0 +1,208 @@
+"""Tests for data-access planners and the remote-access counter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.access import (
+    CachingPlanner,
+    NoCachePlanner,
+    RemoteAccessCounter,
+    RemoteReadPlanner,
+)
+from repro.cluster.costmodel import CostModel, DataSource
+from repro.cluster.node import Node
+from repro.core.engine import Engine
+from repro.core import units
+from repro.data.cache import LRUSegmentCache
+from repro.data.dataspace import DataSpace
+from repro.data.intervals import Interval
+from repro.data.tertiary import TertiaryStorage
+
+from .helpers import make_subjob
+
+
+@pytest.fixture
+def space():
+    return DataSpace(total_events=1_000_000, event_bytes=600 * units.KB)
+
+
+def build_pair(space, planner_cls=RemoteReadPlanner, **planner_kwargs):
+    """Two nodes sharing one planner (for remote-read tests)."""
+    engine = Engine()
+    tertiary = TertiaryStorage(space)
+    planner = planner_cls(tertiary, **planner_kwargs)
+    nodes = [
+        Node(
+            node_id=i,
+            engine=engine,
+            cache=LRUSegmentCache(100_000),
+            cost_model=CostModel.from_hardware(600 * units.KB),
+            planner=planner,
+            chunk_events=100,
+        )
+        for i in range(2)
+    ]
+    if hasattr(planner, "set_peers"):
+        planner.set_peers(nodes)
+    for node in nodes:
+        node.on_subjob_complete = lambda n, s: None
+    return engine, nodes, planner, tertiary
+
+
+class TestCachingPlanner:
+    def test_plans_cached_prefix(self, space):
+        engine, nodes, _, tertiary = build_pair(space, planner_cls=CachingPlanner)
+        node = nodes[0]
+        node.cache.insert(Interval(0, 50), now=0.0)
+        plan = node.planner.plan_chunk(node, Interval(0, 200), 100)
+        assert plan.source is DataSource.CACHE
+        assert plan.interval == Interval(0, 50)
+
+    def test_plans_miss_up_to_next_hit(self, space):
+        engine, nodes, _, _ = build_pair(space, planner_cls=CachingPlanner)
+        node = nodes[0]
+        node.cache.insert(Interval(50, 80), now=0.0)
+        plan = node.planner.plan_chunk(node, Interval(0, 200), 100)
+        assert plan.source is DataSource.TERTIARY
+        assert plan.interval == Interval(0, 50)
+
+    def test_chunk_cap_respected(self, space):
+        engine, nodes, _, _ = build_pair(space, planner_cls=CachingPlanner)
+        node = nodes[0]
+        plan = node.planner.plan_chunk(node, Interval(0, 10_000), 100)
+        assert plan.interval.length == 100
+
+
+class TestNoCachePlanner:
+    def test_always_tertiary(self, space):
+        engine, nodes, _, _ = build_pair(space, planner_cls=NoCachePlanner)
+        node = nodes[0]
+        node.cache.insert(Interval(0, 500), now=0.0)  # ignored
+        plan = node.planner.plan_chunk(node, Interval(0, 500), 1000)
+        assert plan.source is DataSource.TERTIARY
+        assert plan.interval == Interval(0, 500)
+
+
+class TestRemoteAccessCounter:
+    def test_promotes_on_third_access(self):
+        counter = RemoteAccessCounter(threshold=3)
+        assert counter.register(Interval(0, 10)).measure() == 0
+        assert counter.register(Interval(0, 10)).measure() == 0
+        promoted = counter.register(Interval(0, 10))
+        assert promoted.pairs() == [(0, 10)]
+
+    def test_partial_overlap_promotes_only_hot_part(self):
+        counter = RemoteAccessCounter(threshold=2)
+        counter.register(Interval(0, 10))
+        promoted = counter.register(Interval(5, 15))
+        assert promoted.pairs() == [(5, 10)]
+
+    def test_access_count_at(self):
+        counter = RemoteAccessCounter(threshold=3)
+        counter.register(Interval(0, 10))
+        counter.register(Interval(0, 5))
+        assert counter.access_count_at(2) == 2
+        assert counter.access_count_at(7) == 1
+        assert counter.access_count_at(50) == 0
+
+    def test_threshold_one_promotes_immediately(self):
+        counter = RemoteAccessCounter(threshold=1)
+        assert counter.register(Interval(3, 7)).pairs() == [(3, 7)]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            RemoteAccessCounter(threshold=0)
+
+    def test_saturated_extents_promote_only_once(self):
+        counter = RemoteAccessCounter(threshold=2)
+        counter.register(Interval(0, 10))
+        assert counter.register(Interval(0, 10)).measure() == 10
+        # Further accesses stay at the top level without re-promoting:
+        # §4.2 replicates a data item once, on its threshold-th access.
+        assert counter.register(Interval(0, 10)).measure() == 0
+        assert counter.access_count_at(5) == 2
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(1, 20)), max_size=10
+        ),
+        st.integers(1, 4),
+    )
+    def test_count_never_exceeds_accesses(self, accesses, threshold):
+        counter = RemoteAccessCounter(threshold=threshold)
+        seen = {}
+        for start, length in accesses:
+            counter.register(Interval(start, start + length))
+            for point in range(start, start + length):
+                seen[point] = seen.get(point, 0) + 1
+        for point, count in seen.items():
+            assert counter.access_count_at(point) == min(count, threshold)
+
+
+class TestRemoteReadPlanner:
+    def test_miss_served_remotely_when_peer_caches(self, space):
+        engine, nodes, planner, tertiary = build_pair(space)
+        nodes[1].cache.insert(Interval(0, 300), now=0.0)
+        plan = planner.plan_chunk(nodes[0], Interval(0, 200), 1000)
+        assert plan.source is DataSource.REMOTE
+        assert plan.owner is nodes[1]
+        assert plan.interval == Interval(0, 200)
+
+    def test_miss_falls_back_to_tertiary(self, space):
+        engine, nodes, planner, _ = build_pair(space)
+        plan = planner.plan_chunk(nodes[0], Interval(0, 200), 1000)
+        assert plan.source is DataSource.TERTIARY
+
+    def test_local_cache_preferred_over_remote(self, space):
+        engine, nodes, planner, _ = build_pair(space)
+        nodes[0].cache.insert(Interval(0, 100), now=0.0)
+        nodes[1].cache.insert(Interval(0, 300), now=0.0)
+        plan = planner.plan_chunk(nodes[0], Interval(0, 200), 1000)
+        assert plan.source is DataSource.CACHE
+        assert plan.interval == Interval(0, 100)
+
+    def test_remote_read_runs_at_remote_rate_and_counts(self, space):
+        engine, nodes, planner, tertiary = build_pair(space)
+        nodes[1].cache.insert(Interval(0, 100), now=0.0)
+        subjob = make_subjob(0, 100)
+        nodes[0].start(subjob)
+        engine.run()
+        assert engine.now == pytest.approx(100 * 0.2648)
+        assert planner.stats.remote_events == 100
+        assert tertiary.stats.events_read == 0
+        # First remote access: not replicated yet.
+        assert nodes[0].cache.used_events == 0
+
+    def test_replication_on_third_access(self, space):
+        engine, nodes, planner, _ = build_pair(space)
+        nodes[1].cache.insert(Interval(0, 100), now=0.0)
+        for _ in range(3):
+            subjob = make_subjob(0, 100)
+            nodes[0].start(subjob)
+            engine.run()
+        assert planner.stats.replication_events >= 1
+        assert planner.stats.replicated_events == 100
+        assert nodes[0].cache.covers(Interval(0, 100))
+
+    def test_replication_disabled(self, space):
+        engine, nodes, planner, _ = build_pair(
+            space, replication_enabled=False
+        )
+        nodes[1].cache.insert(Interval(0, 100), now=0.0)
+        for _ in range(4):
+            subjob = make_subjob(0, 100)
+            nodes[0].start(subjob)
+            engine.run()
+        assert planner.stats.replication_events == 0
+        assert nodes[0].cache.used_events == 0
+        assert planner.stats.remote_events == 400
+
+    def test_remote_reads_touch_owner_lru(self, space):
+        engine, nodes, planner, _ = build_pair(space)
+        nodes[1].cache.insert(Interval(0, 100), now=0.0)
+        subjob = make_subjob(0, 100)
+        nodes[0].start(subjob)
+        engine.run()
+        stamps = [stamp for _, stamp in nodes[1].cache]
+        assert max(stamps) > 0.0

@@ -1,0 +1,148 @@
+"""Tests for theory anchors, histograms, tables and ASCII plots."""
+
+import math
+
+import pytest
+
+from repro.analysis.histogram import (
+    histogram,
+    log_bin_edges,
+    waiting_time_histogram,
+)
+from repro.analysis.plots import ascii_plot
+from repro.analysis.tables import (
+    format_histogram,
+    format_series_table,
+    format_table,
+)
+from repro.analysis.theory import theoretical_limits
+from repro.core import units
+from repro.sim.config import paper_config
+
+
+class TestTheory:
+    """§3.4's closed-form anchors, quoted verbatim in the paper."""
+
+    @pytest.fixture
+    def limits(self):
+        return theoretical_limits(paper_config())
+
+    def test_single_job_single_node_time(self, limits):
+        assert limits.single_job_single_node_time == pytest.approx(32_000)
+
+    def test_caching_speedup_slightly_above_three(self, limits):
+        assert 3.0 < limits.caching_speedup < 3.2
+
+    def test_max_overall_speedup_about_thirty(self, limits):
+        assert limits.max_overall_speedup == pytest.approx(30.77, abs=0.1)
+
+    def test_max_load(self, limits):
+        assert limits.max_load_per_hour == pytest.approx(3.46, abs=0.01)
+
+    def test_farm_ceiling_about_1_1(self, limits):
+        assert limits.farm_max_load_per_hour == pytest.approx(1.125, abs=0.01)
+
+    def test_scales_with_nodes(self):
+        twenty = theoretical_limits(paper_config(n_nodes=20))
+        ten = theoretical_limits(paper_config())
+        assert twenty.max_load_per_hour == pytest.approx(
+            2 * ten.max_load_per_hour
+        )
+
+    def test_as_dict(self, limits):
+        payload = limits.as_dict()
+        assert payload["max_load_per_hour"] == limits.max_load_per_hour
+
+
+class TestHistogram:
+    def test_log_edges_cover_range(self):
+        edges = log_bin_edges(units.HOUR, 2 * units.DAY)
+        assert edges[0] == pytest.approx(units.HOUR)
+        assert edges[-1] == pytest.approx(2 * units.DAY)
+
+    def test_invalid_edges(self):
+        with pytest.raises(ValueError):
+            log_bin_edges(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_bin_edges(10.0, 5.0)
+
+    def test_counts_and_overflow(self):
+        hist = histogram([0.5, 1.5, 2.5, 9.0, 100.0], edges=[1.0, 3.0, 10.0])
+        assert hist.below == 1
+        assert hist.above == 1
+        assert hist.counts() == [2, 1]
+        assert hist.total == 5
+
+    def test_waiting_time_histogram(self):
+        waits = [10.0, units.HOUR * 2, units.HOUR * 30, units.DAY * 3]
+        hist = waiting_time_histogram(waits)
+        assert hist.below == 1  # the fast cached job
+        assert hist.above == 1  # the 3-day straggler
+        assert sum(hist.counts()) == 2
+
+    def test_rows_have_labels(self):
+        hist = waiting_time_histogram([units.HOUR * 5])
+        rows = hist.rows()
+        assert all(isinstance(label, str) and count >= 0 for label, count in rows)
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], ["xy", float("nan")]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "n/a" in lines[3]
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_series_table_cuts_overloaded(self):
+        series = {"a": [(1.0, 5.0)], "b": [(1.0, 2.0), (2.0, 1.0)]}
+        text = format_series_table(series, "speedup")
+        assert "—" in text  # 'a' has no point at load 2.0
+
+    def test_series_table_time_metric(self):
+        series = {"a": [(1.0, 3600.0)]}
+        text = format_series_table(series, "wait", time_metric=True)
+        assert "1h" in text
+
+    def test_format_histogram_bars(self):
+        text = format_histogram([("bin1", 10), ("bin2", 5)])
+        lines = text.splitlines()
+        assert lines[0].count("#") == 40
+        assert lines[1].count("#") == 20
+
+    def test_format_histogram_empty(self):
+        assert format_histogram([]) == ""
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot(
+            {"curve": [(1.0, 2.0), (2.0, 4.0)]}, title="demo", width=30, height=8
+        )
+        assert "demo" in text
+        assert "o = curve" in text
+        assert "o" in text
+
+    def test_empty_series(self):
+        assert "no steady-state points" in ascii_plot({"a": []})
+
+    def test_log_scale_skips_nonpositive(self):
+        text = ascii_plot(
+            {"c": [(1.0, 0.0), (2.0, 100.0)]}, log_y=True, width=20, height=6
+        )
+        assert "c" in text
+
+    def test_nan_points_skipped(self):
+        text = ascii_plot(
+            {"c": [(1.0, float("nan")), (2.0, 3.0)]}, width=20, height=6
+        )
+        assert "o = c" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot(
+            {"a": [(1.0, 1.0)], "b": [(2.0, 2.0)]}, width=20, height=6
+        )
+        assert "o = a" in text and "x = b" in text

@@ -1,0 +1,97 @@
+"""Tests for batch-means confidence intervals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.batchmeans import (
+    batch_means,
+    lag1_autocorrelation,
+    speedup_ci,
+    waiting_time_ci,
+)
+from repro.core import units
+from repro.sim.config import quick_config
+from repro.sim.simulator import run_simulation
+
+
+class TestLag1:
+    def test_white_noise_near_zero(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=5000)
+        assert abs(lag1_autocorrelation(values)) < 0.05
+
+    def test_persistent_series_near_one(self):
+        values = np.cumsum(np.random.default_rng(1).normal(size=5000))
+        assert lag1_autocorrelation(values) > 0.9
+
+    def test_short_series_nan(self):
+        assert math.isnan(lag1_autocorrelation(np.array([1.0, 2.0])))
+
+    def test_constant_series(self):
+        assert lag1_autocorrelation(np.ones(100)) == 0.0
+
+
+class TestBatchMeans:
+    def test_iid_coverage(self):
+        """For i.i.d. data the CI should usually contain the true mean."""
+        rng = np.random.default_rng(2)
+        hits = 0
+        for _ in range(40):
+            sample = rng.exponential(10.0, size=2000)
+            estimate = batch_means(sample, n_batches=20)
+            if estimate.low <= 10.0 <= estimate.high:
+                hits += 1
+        assert hits >= 32  # ~95 % nominal; allow slack
+
+    def test_mean_matches_sample_mean(self):
+        values = list(range(100))
+        estimate = batch_means(values, n_batches=10)
+        assert estimate.mean == pytest.approx(np.mean(values))
+        assert estimate.batch_size == 10
+
+    def test_remainder_dropped(self):
+        values = list(range(105))
+        estimate = batch_means(values, n_batches=10)
+        assert estimate.batch_size == 10  # 105 // 10
+        assert estimate.mean == pytest.approx(np.mean(values[:100]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means([1.0] * 100, n_batches=1)
+        with pytest.raises(ValueError):
+            batch_means([1.0] * 10, n_batches=10)
+
+    def test_autocorrelated_data_wider_ci_than_naive(self):
+        """Batch means must widen the CI for correlated observations."""
+        rng = np.random.default_rng(3)
+        # AR(1) with strong persistence.
+        n = 4000
+        series = np.empty(n)
+        series[0] = 0.0
+        for i in range(1, n):
+            series[i] = 0.95 * series[i - 1] + rng.normal()
+        estimate = batch_means(series, n_batches=20)
+        naive_half = 1.96 * series.std(ddof=1) / math.sqrt(n)
+        assert estimate.half_width > 2 * naive_half
+
+
+class TestRecordHelpers:
+    @pytest.fixture(scope="class")
+    def records(self):
+        result = run_simulation(
+            quick_config(seed=31, duration=6 * units.DAY, arrival_rate_per_hour=8.0),
+            "out-of-order",
+        )
+        return result.records
+
+    def test_waiting_ci(self, records):
+        estimate = waiting_time_ci(records, n_batches=10)
+        assert estimate.mean >= 0.0
+        assert estimate.half_width >= 0.0
+
+    def test_speedup_ci(self, records):
+        estimate = speedup_ci(records, n_batches=10)
+        assert estimate.mean > 0.0
+        assert "batches" in str(estimate)

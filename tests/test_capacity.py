@@ -1,0 +1,83 @@
+"""Tests for the capacity bisection (repro.analysis.capacity)."""
+
+import pytest
+
+from repro.analysis.capacity import capacity_by_policy, find_max_sustained_load
+from repro.core import units
+from repro.sim.config import quick_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    # quick config: 2000-event jobs, 10 nodes; farm capacity =
+    # 10 * 3600 / (2000 * 0.8) = 22.5 jobs/hour.
+    return quick_config(duration=3 * units.DAY, seed=9)
+
+
+class TestBisection:
+    def test_farm_capacity_found(self, config):
+        result = find_max_sustained_load(
+            config, "farm", low=10.0, high=40.0, tolerance=4.0,
+            max_evaluations=7,
+        )
+        # Analytic ceiling 22.5: the boundary must bracket it loosely.
+        assert 14.0 <= result.max_sustained_load <= 28.0
+        assert result.min_overloaded_load > result.max_sustained_load
+
+    def test_low_already_overloaded(self, config):
+        result = find_max_sustained_load(
+            config, "farm", low=60.0, high=80.0, tolerance=5.0
+        )
+        assert result.max_sustained_load == 0.0
+        assert result.min_overloaded_load == 60.0
+
+    def test_high_still_steady(self, config):
+        result = find_max_sustained_load(
+            config, "farm", low=1.0, high=2.0, tolerance=0.5
+        )
+        assert result.max_sustained_load == 2.0
+        assert result.min_overloaded_load == float("inf")
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            find_max_sustained_load(config, "farm", low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            find_max_sustained_load(config, "farm", low=2.0, high=1.0)
+        with pytest.raises(ValueError):
+            find_max_sustained_load(config, "farm", low=1.0, high=2.0, tolerance=0.0)
+
+    def test_evaluations_recorded(self, config):
+        result = find_max_sustained_load(
+            config, "farm", low=10.0, high=40.0, tolerance=5.0,
+            max_evaluations=6,
+        )
+        assert len(result.evaluations) <= 6
+        loads = [load for load, _ in result.evaluations]
+        assert loads[0] == 10.0 and loads[1] == 40.0
+
+    def test_midpoint_between_bounds(self, config):
+        result = find_max_sustained_load(
+            config, "farm", low=10.0, high=40.0, tolerance=8.0,
+            max_evaluations=5,
+        )
+        assert (
+            result.max_sustained_load
+            <= result.midpoint
+            <= result.min_overloaded_load
+        )
+
+
+class TestMultiPolicy:
+    def test_ordering_matches_paper(self, config):
+        results = capacity_by_policy(
+            config,
+            {"farm": {}, "out-of-order": {}},
+            low=10.0,
+            high=70.0,
+            tolerance=15.0,
+        )
+        # Caching + splitting sustains more than the bare farm.
+        assert (
+            results["out-of-order"].max_sustained_load
+            >= results["farm"].max_sustained_load
+        )

@@ -1,0 +1,162 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListingCommands:
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "out-of-order" in out
+        assert "delayed" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "Figure 2" in out
+
+    def test_limits(self, capsys):
+        assert main(["limits"]) == 0
+        out = capsys.readouterr().out
+        assert "32000" in out or "32,000" in out
+        assert "3.46" in out
+
+
+class TestSimulate:
+    def test_simulate_farm(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "farm",
+                "--load",
+                "0.5",
+                "--days",
+                "3",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean speedup" in out
+        assert "farm" in out
+
+    def test_simulate_delayed_with_params(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "delayed",
+                "--load",
+                "0.5",
+                "--days",
+                "3",
+                "--period",
+                "21600",
+                "--stripe",
+                "500",
+            ]
+        )
+        assert code == 0
+        assert "delayed" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "bogus"])
+
+
+class TestRun:
+    def test_run_farmq_smoke(self, capsys, tmp_path):
+        out_file = tmp_path / "report.md"
+        code = main(
+            [
+                "run",
+                "farmq",
+                "--scale",
+                "smoke",
+                "--processes",
+                "1",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "farmq" in out_file.read_text()
+
+    def test_run_unknown_experiment(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "fig99", "--scale", "smoke"])
+
+    def test_run_all_subset(self, capsys, tmp_path):
+        out_file = tmp_path / "all.md"
+        code = main(
+            [
+                "run-all",
+                "--scale",
+                "smoke",
+                "--only",
+                "farmq",
+                "--processes",
+                "1",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert "farmq" in out_file.read_text()
+
+
+class TestParser:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_scale_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "--scale", "enormous"])
+
+
+class TestReplicate:
+    def test_replicate_farm(self, capsys):
+        code = main(
+            [
+                "replicate",
+                "--policy",
+                "farm",
+                "--load",
+                "0.5",
+                "--days",
+                "2",
+                "-n",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replications" in out
+        assert "mean_speedup" in out
+
+
+class TestExport:
+    def test_export_farmq(self, capsys, tmp_path):
+        code = main(
+            [
+                "export",
+                "farmq",
+                "--scale",
+                "smoke",
+                "--processes",
+                "1",
+                "-o",
+                str(tmp_path / "fig"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "fig" / "plot.gp").exists()
+        assert list((tmp_path / "fig").glob("*.dat"))

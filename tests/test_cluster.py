@@ -1,0 +1,101 @@
+"""Tests for the Cluster container and its scheduling helpers."""
+
+import pytest
+
+from repro.cluster.access import CachingPlanner
+from repro.cluster.cluster import Cluster
+from repro.cluster.costmodel import CostModel
+from repro.core.engine import Engine
+from repro.core.errors import ConfigurationError
+from repro.core import units
+from repro.data.intervals import Interval
+from repro.data.tertiary import TertiaryStorage
+
+from .conftest import make_cluster
+from .helpers import make_subjob
+
+
+class TestConstruction:
+    def test_node_count(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary, n_nodes=5)
+        assert len(cluster) == 5
+        assert [node.node_id for node in cluster] == [0, 1, 2, 3, 4]
+
+    def test_indexing(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        assert cluster[1].node_id == 1
+
+    def test_zero_nodes_rejected(self, engine, tertiary):
+        with pytest.raises(ConfigurationError):
+            Cluster(
+                engine, 0, 100, CostModel(), CachingPlanner(tertiary)
+            )
+
+    def test_speed_factor_length_checked(self, engine, tertiary):
+        with pytest.raises(ConfigurationError):
+            Cluster(
+                engine, 3, 100, CostModel(), CachingPlanner(tertiary),
+                speed_factors=[1.0, 2.0],
+            )
+
+    def test_heterogeneous_speeds(self, engine, tertiary):
+        cluster = Cluster(
+            engine, 2, 10_000,
+            CostModel.from_hardware(600 * units.KB),
+            CachingPlanner(tertiary),
+            speed_factors=[1.0, 2.0],
+        )
+        for node in cluster:
+            node.on_subjob_complete = lambda n, s: None
+        cluster[0].start(make_subjob(0, 100))
+        cluster[1].start(make_subjob(1000, 100))
+        engine.run()
+        # The slow node took twice as long.
+        assert cluster[1].stats.busy_seconds == pytest.approx(
+            2 * cluster[0].stats.busy_seconds
+        )
+
+
+class TestQueries:
+    def test_idle_and_busy(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        for node in cluster:
+            node.on_subjob_complete = lambda n, s: None
+        assert len(cluster.idle_nodes()) == 3
+        cluster[1].start(make_subjob(0, 1000))
+        assert [n.node_id for n in cluster.idle_nodes()] == [0, 2]
+        assert [n.node_id for n in cluster.busy_nodes()] == [1]
+
+    def test_best_cache_owner(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        cluster[0].cache.insert(Interval(0, 100), now=0.0)
+        cluster[2].cache.insert(Interval(0, 300), now=0.0)
+        owner, events = cluster.best_cache_owner(Interval(0, 500))
+        assert owner is cluster[2]
+        assert events == 300
+
+    def test_best_cache_owner_excludes(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        cluster[2].cache.insert(Interval(0, 300), now=0.0)
+        owner, events = cluster.best_cache_owner(
+            Interval(0, 500), exclude=cluster[2]
+        )
+        assert owner is None
+        assert events == 0
+
+    def test_cached_events_by_node(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        cluster[1].cache.insert(Interval(50, 150), now=0.0)
+        table = cluster.cached_events_by_node(Interval(0, 100))
+        assert table == [(cluster[0], 0), (cluster[1], 50), (cluster[2], 0)]
+
+    def test_total_cached_events(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        cluster[0].cache.insert(Interval(0, 100), now=0.0)
+        cluster[1].cache.insert(Interval(0, 100), now=0.0)
+        assert cluster.total_cached_events() == 200
+
+    def test_utilization_empty(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        assert cluster.utilization(0.0) == 0.0
+        assert cluster.utilization(100.0) == 0.0

@@ -1,0 +1,131 @@
+"""Tests for SimulationConfig and its derived quantities."""
+
+import pytest
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.sim.config import SimulationConfig, paper_config, quick_config
+
+
+class TestPaperDefaults:
+    """§2.4 parameters and DESIGN.md §2 derived anchors."""
+
+    @pytest.fixture
+    def config(self):
+        return paper_config()
+
+    def test_cluster(self, config):
+        assert config.n_nodes == 10
+        assert config.cache_bytes == 100 * units.GB
+        assert config.cache_events == 166_666
+
+    def test_data_space(self, config):
+        assert config.dataspace().total_events == 3_333_333
+
+    def test_workload(self, config):
+        assert config.mean_job_events == 40_000
+        assert config.erlang_shape == 4
+        assert config.hot_weight == 0.5
+
+    def test_anchor_single_node_time(self, config):
+        assert config.mean_service_time_uncached == pytest.approx(32_000)
+
+    def test_anchor_max_load(self, config):
+        assert config.max_theoretical_load_per_hour == pytest.approx(3.4615, abs=1e-3)
+
+    def test_offered_load_fraction(self, config):
+        low = config.with_(arrival_rate_per_hour=1.0)
+        assert low.offered_load_fraction == pytest.approx(1.0 / 3.4615, abs=1e-3)
+
+    def test_cache_sizes_match_paper(self):
+        for gigabytes, events in ((50, 83_333), (100, 166_666), (200, 333_333)):
+            config = paper_config(cache_bytes=gigabytes * units.GB)
+            assert config.cache_events == events
+
+    def test_aggregate_200gb_cache_covers_space(self):
+        config = paper_config(cache_bytes=200 * units.GB)
+        aggregate = config.cache_events * config.n_nodes
+        assert aggregate >= config.dataspace().total_events * 0.999
+
+
+class TestDerivedObjects:
+    def test_cost_model(self):
+        model = paper_config().cost_model()
+        assert model.cached_event_time == pytest.approx(0.26)
+        assert model.uncached_event_time == pytest.approx(0.8)
+
+    def test_pipelined_flag_propagates(self):
+        model = paper_config(pipelined_io=True).cost_model()
+        assert model.pipelined
+
+    def test_job_size_distribution(self):
+        sizes = paper_config().job_size_distribution()
+        assert sizes.mean_events == 40_000
+        assert sizes.shape == 4
+
+    def test_start_distribution(self):
+        dist = paper_config().start_distribution()
+        assert dist.hot_fraction_of_space == pytest.approx(0.10, abs=0.001)
+
+    def test_warmup_time(self):
+        config = paper_config(duration=40 * units.DAY, warmup_fraction=0.25)
+        assert config.warmup_time == pytest.approx(10 * units.DAY)
+
+
+class TestValidation:
+    def test_bad_nodes(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(n_nodes=0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(arrival_rate_per_hour=0.0)
+
+    def test_bad_warmup(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(warmup_fraction=1.0)
+
+    def test_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(duration=0.0)
+
+    def test_chunk_smaller_than_min_subjob(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(chunk_events=5, min_subjob_events=10)
+
+    def test_job_bigger_than_space(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(mean_job_events=1e10)
+
+    def test_negative_cache(self):
+        with pytest.raises(ConfigurationError):
+            paper_config(cache_bytes=-1)
+
+
+class TestHelpers:
+    def test_with_creates_modified_copy(self):
+        config = paper_config()
+        other = config.with_(arrival_rate_per_hour=2.0)
+        assert other.arrival_rate_per_hour == 2.0
+        assert config.arrival_rate_per_hour == 1.0
+
+    def test_to_dict_roundtrip(self):
+        config = paper_config(seed=9)
+        payload = config.to_dict()
+        rebuilt = SimulationConfig(**payload)
+        assert rebuilt == config
+
+    def test_quick_config_preserves_ratios(self):
+        quick = quick_config()
+        paper = paper_config()
+        quick_ratio = quick.cache_bytes / quick.total_data_bytes
+        paper_ratio = paper.cache_bytes / paper.total_data_bytes
+        assert quick_ratio == pytest.approx(paper_ratio)
+        assert quick.cost_model().caching_speedup == pytest.approx(
+            paper.cost_model().caching_speedup
+        )
+
+    def test_frozen(self):
+        config = paper_config()
+        with pytest.raises(Exception):
+            config.seed = 1  # type: ignore[misc]

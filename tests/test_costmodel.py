@@ -1,0 +1,77 @@
+"""Tests for the per-event cost model: the paper's timing anchors."""
+
+import pytest
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.cluster.costmodel import CostModel, DataSource
+
+
+class TestPaperAnchors:
+    """§2.4 hardware → the derived per-event costs in DESIGN.md §2."""
+
+    @pytest.fixture
+    def model(self) -> CostModel:
+        return CostModel.from_hardware(600 * units.KB)
+
+    def test_transfer_times(self, model):
+        assert model.disk_time == pytest.approx(0.06)
+        assert model.tertiary_time == pytest.approx(0.6)
+        assert model.network_time == pytest.approx(0.0048)
+
+    def test_cached_event_time(self, model):
+        assert model.cached_event_time == pytest.approx(0.26)
+
+    def test_uncached_event_time(self, model):
+        assert model.uncached_event_time == pytest.approx(0.8)
+
+    def test_remote_event_time(self, model):
+        assert model.event_time(DataSource.REMOTE) == pytest.approx(0.2648)
+
+    def test_caching_speedup_slightly_above_three(self, model):
+        assert model.caching_speedup == pytest.approx(0.8 / 0.26)
+        assert 3.0 < model.caching_speedup < 3.2
+
+
+class TestPipelining:
+    """§7 future work: transfer/compute overlap."""
+
+    @pytest.fixture
+    def model(self) -> CostModel:
+        return CostModel.from_hardware(600 * units.KB, pipelined=True)
+
+    def test_cached_becomes_cpu_bound(self, model):
+        assert model.cached_event_time == pytest.approx(0.2)
+
+    def test_uncached_becomes_transfer_bound(self, model):
+        assert model.uncached_event_time == pytest.approx(0.6)
+
+    def test_caching_speedup_unchanged_qualitatively(self, model):
+        assert model.caching_speedup == pytest.approx(3.0)
+
+
+class TestSpeedFactor:
+    def test_scales_total_cost(self):
+        model = CostModel.from_hardware(600 * units.KB)
+        assert model.event_time(DataSource.CACHE, speed_factor=2.0) == pytest.approx(0.52)
+
+    def test_unity_by_default(self):
+        model = CostModel.from_hardware(600 * units.KB)
+        assert model.event_time(DataSource.TERTIARY) == model.event_time(
+            DataSource.TERTIARY, speed_factor=1.0
+        )
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(cpu_time=-0.1)
+
+    def test_zero_throughput_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel.from_hardware(600 * units.KB, disk_throughput=0)
+
+    def test_frozen(self):
+        model = CostModel()
+        with pytest.raises(Exception):
+            model.cpu_time = 1.0  # type: ignore[misc]

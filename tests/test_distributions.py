@@ -1,0 +1,138 @@
+"""Tests for the workload distributions (§2.4 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomStreams
+from repro.data.dataspace import DataSpace
+from repro.workload.distributions import (
+    ErlangJobSize,
+    HotRegion,
+    HotspotStartDistribution,
+    PoissonArrivals,
+    uniform_start_distribution,
+)
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(99).get("test")
+
+
+class TestErlangJobSize:
+    def test_paper_parameters(self):
+        sizes = ErlangJobSize(mean_events=40_000, shape=4)
+        assert sizes.scale == pytest.approx(10_000)
+        # The Erlang-4 mode is 30 000 — the paper's quoted "average".
+        assert sizes.mode_events == pytest.approx(30_000)
+        assert sizes.squared_cv == pytest.approx(0.25)
+
+    def test_sample_mean_and_spread(self, rng):
+        sizes = ErlangJobSize(mean_events=40_000, shape=4)
+        samples = sizes.sample_many(rng, 20_000)
+        assert np.mean(samples) == pytest.approx(40_000, rel=0.02)
+        assert np.std(samples) == pytest.approx(20_000, rel=0.05)
+
+    def test_samples_are_positive_ints(self, rng):
+        sizes = ErlangJobSize(mean_events=100, shape=4, min_events=1)
+        samples = sizes.sample_many(rng, 1000)
+        assert samples.min() >= 1
+        assert samples.dtype.kind == "i"
+
+    def test_single_sample(self, rng):
+        sizes = ErlangJobSize(mean_events=100, shape=4)
+        assert sizes.sample(rng) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ErlangJobSize(mean_events=0)
+        with pytest.raises(ConfigurationError):
+            ErlangJobSize(mean_events=100, shape=0)
+
+
+class TestPoissonArrivals:
+    def test_mean_interval(self, rng):
+        arrivals = PoissonArrivals(rate_per_second=0.01)
+        gaps = [arrivals.next_interval(rng) for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(100.0, rel=0.03)
+
+    def test_exponential_cv(self, rng):
+        arrivals = PoissonArrivals(rate_per_second=1.0)
+        gaps = np.array([arrivals.next_interval(rng) for _ in range(20_000)])
+        cv = np.std(gaps) / np.mean(gaps)
+        assert cv == pytest.approx(1.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(0.0)
+
+
+class TestHotRegion:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotRegion(1.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            HotRegion(0.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            HotRegion(0.9, 0.2)  # leaves the space
+
+
+class TestHotspotStartDistribution:
+    @pytest.fixture
+    def space(self):
+        return DataSpace(total_events=1_000_000, event_bytes=600 * units.KB)
+
+    def test_hot_regions_cover_ten_percent(self, space):
+        dist = HotspotStartDistribution(space)
+        assert dist.hot_fraction_of_space == pytest.approx(0.10, abs=0.001)
+
+    def test_half_the_starts_fall_in_hot_regions(self, space, rng):
+        dist = HotspotStartDistribution(space)
+        hits = sum(
+            dist.hot_set.contains_point(dist.sample_position(rng))
+            for _ in range(10_000)
+        )
+        assert hits / 10_000 == pytest.approx(0.5, abs=0.02)
+
+    def test_start_leaves_room_for_job(self, space, rng):
+        dist = HotspotStartDistribution(space)
+        n_events = 900_000
+        for _ in range(200):
+            start = dist.sample_start(rng, n_events)
+            assert 0 <= start <= space.total_events - n_events
+
+    def test_job_larger_than_space_raises(self, space, rng):
+        dist = HotspotStartDistribution(space)
+        with pytest.raises(ConfigurationError):
+            dist.sample_start(rng, space.total_events + 1)
+
+    def test_uniform_distribution_has_no_hot_set(self, space, rng):
+        dist = uniform_start_distribution(space)
+        assert dist.hot_set.measure() == 0
+        positions = [dist.sample_position(rng) for _ in range(5000)]
+        # Roughly uniform: mean near the middle.
+        assert np.mean(positions) == pytest.approx(space.total_events / 2, rel=0.05)
+
+    def test_hot_weight_validation(self, space):
+        with pytest.raises(ConfigurationError):
+            HotspotStartDistribution(space, hot_weight=1.5)
+        with pytest.raises(ConfigurationError):
+            HotspotStartDistribution(space, regions=(), hot_weight=0.5)
+
+    def test_full_coverage_needs_zero_cold_weight(self, space):
+        with pytest.raises(ConfigurationError):
+            HotspotStartDistribution(
+                space, regions=(HotRegion(0.0, 1.0),), hot_weight=0.5
+            )
+
+    def test_custom_regions(self, space, rng):
+        dist = HotspotStartDistribution(
+            space, regions=(HotRegion(0.0, 0.01),), hot_weight=0.9
+        )
+        hits = sum(
+            dist.hot_set.contains_point(dist.sample_position(rng))
+            for _ in range(5000)
+        )
+        assert hits / 5000 == pytest.approx(0.9, abs=0.02)

@@ -1,0 +1,253 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.engine import Engine
+from repro.core.errors import EngineError
+from repro.core.events import EventPriority, describe_event
+
+
+class TestBasicDispatch:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        out = []
+        eng.call_at(3.0, out.append, "c")
+        eng.call_at(1.0, out.append, "a")
+        eng.call_at(2.0, out.append, "b")
+        eng.run()
+        assert out == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        eng = Engine()
+        times = []
+        eng.call_at(1.5, lambda: times.append(eng.now))
+        eng.call_at(4.0, lambda: times.append(eng.now))
+        eng.run()
+        assert times == [1.5, 4.0]
+        assert eng.now == 4.0
+
+    def test_call_after_is_relative(self):
+        eng = Engine(start_time=10.0)
+        seen = []
+        eng.call_after(5.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [15.0]
+
+    def test_args_are_passed(self):
+        eng = Engine()
+        out = []
+        eng.call_at(1.0, lambda a, b: out.append((a, b)), 1, "x")
+        eng.run()
+        assert out == [(1, "x")]
+
+    def test_events_scheduled_during_run_are_dispatched(self):
+        eng = Engine()
+        out = []
+
+        def first():
+            out.append("first")
+            eng.call_after(1.0, lambda: out.append("second"))
+
+        eng.call_at(1.0, first)
+        eng.run()
+        assert out == ["first", "second"]
+        assert eng.now == 2.0
+
+
+class TestTieBreaking:
+    def test_priority_orders_simultaneous_events(self):
+        eng = Engine()
+        out = []
+        eng.call_at(1.0, out.append, "arrival", priority=EventPriority.ARRIVAL)
+        eng.call_at(1.0, out.append, "completion", priority=EventPriority.COMPLETION)
+        eng.call_at(1.0, out.append, "probe", priority=EventPriority.PROBE)
+        eng.call_at(1.0, out.append, "period", priority=EventPriority.PERIOD)
+        eng.run()
+        assert out == ["completion", "period", "arrival", "probe"]
+
+    def test_fifo_within_same_priority(self):
+        eng = Engine()
+        out = []
+        for index in range(10):
+            eng.call_at(1.0, out.append, index)
+        eng.run()
+        assert out == list(range(10))
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        eng = Engine()
+        out = []
+        handle = eng.call_at(1.0, out.append, "x")
+        eng.cancel(handle)
+        eng.run()
+        assert out == []
+        assert eng.stats.cancelled == 1
+
+    def test_cancel_none_is_noop(self):
+        Engine().cancel(None)
+
+    def test_double_cancel_counted_once(self):
+        eng = Engine()
+        handle = eng.call_at(1.0, lambda: None)
+        eng.cancel(handle)
+        eng.cancel(handle)
+        assert eng.stats.cancelled == 1
+
+    def test_cancel_during_run(self):
+        eng = Engine()
+        out = []
+        later = eng.call_at(2.0, out.append, "later")
+        eng.call_at(1.0, lambda: eng.cancel(later))
+        eng.run()
+        assert out == []
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        out = []
+        eng.call_at(1.0, out.append, "early")
+        eng.call_at(5.0, out.append, "late")
+        eng.run(until=3.0)
+        assert out == ["early"]
+        assert eng.now == 3.0
+
+    def test_events_at_until_are_dispatched(self):
+        eng = Engine()
+        out = []
+        eng.call_at(3.0, out.append, "boundary")
+        eng.run(until=3.0)
+        assert out == ["boundary"]
+
+    def test_clock_advances_to_until_when_calendar_drains(self):
+        eng = Engine()
+        eng.run(until=10.0)
+        assert eng.now == 10.0
+
+    def test_runs_compose(self):
+        eng = Engine()
+        out = []
+        eng.call_at(1.0, out.append, 1)
+        eng.call_at(5.0, out.append, 5)
+        eng.run(until=3.0)
+        eng.run(until=10.0)
+        assert out == [1, 5]
+
+
+class TestStop:
+    def test_stop_halts_dispatch(self):
+        eng = Engine()
+        out = []
+
+        def first():
+            out.append(1)
+            eng.stop()
+
+        eng.call_at(1.0, first)
+        eng.call_at(2.0, out.append, 2)
+        eng.run()
+        assert out == [1]
+        assert len(eng) == 1  # second still queued
+
+    def test_step_by_step(self):
+        eng = Engine()
+        out = []
+        eng.call_at(1.0, out.append, "a")
+        eng.call_at(2.0, out.append, "b")
+        assert eng.step() is True
+        assert out == ["a"]
+        assert eng.step() is True
+        assert eng.step() is False
+
+    def test_peek_time(self):
+        eng = Engine()
+        assert eng.peek_time() is None
+        handle = eng.call_at(4.0, lambda: None)
+        assert eng.peek_time() == 4.0
+        eng.cancel(handle)
+        assert eng.peek_time() is None
+
+
+class TestErrors:
+    def test_scheduling_in_the_past_raises(self):
+        eng = Engine(start_time=10.0)
+        with pytest.raises(EngineError):
+            eng.call_at(5.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(EngineError):
+            Engine().call_after(-1.0, lambda: None)
+
+    def test_none_callback_raises(self):
+        with pytest.raises(EngineError):
+            Engine().call_at(1.0, None)
+
+    def test_reentrant_run_raises(self):
+        eng = Engine()
+
+        def reenter():
+            with pytest.raises(EngineError):
+                eng.run()
+
+        eng.call_at(1.0, reenter)
+        eng.run()
+
+    def test_scheduling_now_is_allowed(self):
+        eng = Engine()
+        out = []
+        eng.call_at(1.0, lambda: eng.call_at(eng.now, out.append, "now"))
+        eng.run()
+        assert out == ["now"]
+
+
+class TestStats:
+    def test_counters(self):
+        eng = Engine()
+        handles = [eng.call_at(float(i), lambda: None) for i in range(5)]
+        eng.cancel(handles[0])
+        eng.run()
+        assert eng.stats.scheduled == 5
+        assert eng.stats.dispatched == 4
+        assert eng.stats.cancelled == 1
+        assert eng.stats.max_queue == 5
+
+    def test_describe_event(self):
+        eng = Engine()
+        handle = eng.call_at(1.0, lambda: None, label="probe")
+        assert "probe" in describe_event(handle)
+        assert describe_event(None) == "<none>"
+
+
+class TestPropertyOrdering:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=60,
+        )
+    )
+    def test_dispatch_order_is_sorted(self, entries):
+        eng = Engine()
+        out = []
+        for index, (time, priority) in enumerate(entries):
+            eng.call_at(
+                time,
+                out.append,
+                (time, priority, index),
+                priority=priority,
+            )
+        eng.run()
+        assert out == sorted(out)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=40))
+    def test_clock_is_monotone(self, times):
+        eng = Engine()
+        seen = []
+        for time in times:
+            eng.call_at(time, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == sorted(seen)

@@ -1,0 +1,102 @@
+"""Tests for result/record export (repro.sim.export)."""
+
+import json
+
+import pytest
+
+from repro.core import units
+from repro.sim.config import quick_config
+from repro.sim.export import (
+    load_records_csv,
+    result_summary_dict,
+    write_backlog_csv,
+    write_records_csv,
+    write_result_json,
+)
+from repro.sim.metrics import BacklogSample
+from repro.sim.simulator import run_simulation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_simulation(
+        quick_config(seed=21, duration=3 * units.DAY, arrival_rate_per_hour=3.0),
+        "out-of-order",
+    )
+
+
+class TestRecordsCsv:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "records.csv"
+        count = write_records_csv(path, result.records)
+        assert count == len(result.records) > 0
+        loaded = load_records_csv(path)
+        assert loaded == result.records
+
+    def test_derived_columns_present(self, result, tmp_path):
+        path = tmp_path / "records.csv"
+        write_records_csv(path, result.records)
+        header = path.read_text().splitlines()[0]
+        for column in ("waiting_time", "speedup", "sojourn_time"):
+            assert column in header
+
+    def test_empty_records(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_records_csv(path, []) == 0
+        assert load_records_csv(path) == []
+
+
+class TestBacklogCsv:
+    def test_write(self, tmp_path):
+        path = tmp_path / "backlog.csv"
+        samples = [
+            BacklogSample(time=0.0, jobs_in_system=1, busy_nodes=2),
+            BacklogSample(time=10.0, jobs_in_system=3, busy_nodes=4),
+        ]
+        assert write_backlog_csv(path, samples) == 2
+        lines = path.read_text().splitlines()
+        assert lines[0] == "time,jobs_in_system,busy_nodes"
+        assert lines[2] == "10.0,3,4"
+
+
+class TestResultJson:
+    def test_summary_dict_fields(self, result):
+        payload = result_summary_dict(result)
+        assert payload["policy"] == "out-of-order"
+        assert payload["jobs_arrived"] == result.jobs_arrived
+        assert payload["measured"]["n_jobs"] == result.measured.n_jobs
+        assert "config" in payload
+        assert isinstance(payload["overloaded"], bool)
+
+    def test_json_serialisable(self, result, tmp_path):
+        path = tmp_path / "summary.json"
+        write_result_json(path, result)
+        payload = json.loads(path.read_text())
+        assert payload["policy"] == "out-of-order"
+        assert payload["config"]["n_nodes"] == result.config.n_nodes
+
+
+class TestCliIntegration:
+    def test_simulate_dump_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        records = tmp_path / "r.csv"
+        summary = tmp_path / "s.json"
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "farm",
+                "--load",
+                "0.5",
+                "--days",
+                "2",
+                "--dump-records",
+                str(records),
+                "--dump-json",
+                str(summary),
+            ]
+        )
+        assert code == 0
+        assert records.exists() and summary.exists()
+        assert len(load_records_csv(records)) > 0

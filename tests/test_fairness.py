@@ -1,0 +1,169 @@
+"""Tests for the fairness metrics (repro.analysis.fairness)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.fairness import (
+    fairness_report,
+    gini,
+    jain_index,
+    overtake_fraction,
+    start_overtake_fraction,
+    _count_inversions,
+)
+from repro.sim.metrics import JobRecord
+
+
+def record(arrival, completion, reference=100.0, start=None, job_id=0):
+    return JobRecord(
+        job_id=job_id,
+        arrival_time=arrival,
+        schedule_time=arrival,
+        first_start=start if start is not None else arrival,
+        completion=completion,
+        n_events=100,
+        reference_time=reference,
+    )
+
+
+class TestJainIndex:
+    def test_all_equal_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(jain_index([]))
+
+    def test_all_zero_is_one(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    @settings(max_examples=60)
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=30))
+    def test_bounded(self, values):
+        index = jain_index(values)
+        n = len(values)
+        assert 1.0 / n - 1e-9 <= index <= 1.0 + 1e-9 or math.isnan(index)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5.0] * 10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_inequality_approaches_one(self):
+        values = [0.0] * 99 + [1.0]
+        assert gini(values) > 0.9
+
+    def test_known_value(self):
+        # For [1, 3]: Gini = (2*(1*1+2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+        assert gini([1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(gini([]))
+
+    def test_all_zero(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+    @settings(max_examples=60)
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=30))
+    def test_bounded(self, values):
+        coefficient = gini(values)
+        assert -1e-9 <= coefficient < 1.0 + 1e-9
+
+
+class TestInversions:
+    def test_sorted_has_none(self):
+        assert _count_inversions([1.0, 2.0, 3.0]) == 0
+
+    def test_reversed_has_all(self):
+        assert _count_inversions([3.0, 2.0, 1.0]) == 3
+
+    @settings(max_examples=60)
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=40))
+    def test_matches_quadratic_reference(self, values):
+        reference = sum(
+            1
+            for i in range(len(values))
+            for j in range(i + 1, len(values))
+            if values[i] > values[j]
+        )
+        assert _count_inversions(values) == reference
+
+
+class TestOvertakeFraction:
+    def test_fcfs_completion_is_zero(self):
+        records = [record(float(i), 100.0 + i, job_id=i) for i in range(10)]
+        assert overtake_fraction(records) == 0.0
+
+    def test_reversed_completion_is_one(self):
+        records = [record(float(i), 100.0 - i, job_id=i) for i in range(10)]
+        assert overtake_fraction(records) == 1.0
+
+    def test_single_job(self):
+        assert overtake_fraction([record(0.0, 10.0)]) == 0.0
+
+
+class TestStartOvertake:
+    def test_fcfs_starts_score_zero(self):
+        records = [
+            record(float(i), 500.0 - 7 * i, start=float(i) + 1, job_id=i)
+            for i in range(10)
+        ]
+        assert start_overtake_fraction(records) == 0.0
+
+    def test_reordered_starts_detected(self):
+        records = [
+            record(0.0, 100.0, start=50.0, job_id=0),
+            record(1.0, 90.0, start=10.0, job_id=1),  # started first
+        ]
+        assert start_overtake_fraction(records) == 1.0
+
+
+class TestFairnessReport:
+    def test_full_report(self):
+        records = [
+            record(0.0, 200.0, reference=100.0, job_id=0),
+            record(10.0, 150.0, reference=100.0, job_id=1),
+            record(20.0, 400.0, reference=100.0, job_id=2),
+        ]
+        report = fairness_report(records)
+        assert report.n_jobs == 3
+        assert report.mean_slowdown == pytest.approx(
+            np.mean([200.0 / 100, 140.0 / 100, 380.0 / 100])
+        )
+        assert 0.0 < report.jain_index_slowdown <= 1.0
+        assert report.overtake_fraction > 0.0  # job 1 overtook job 0
+
+    def test_empty_records(self):
+        report = fairness_report([])
+        assert report.n_jobs == 0
+        assert math.isnan(report.mean_slowdown)
+
+    def test_as_rows(self):
+        report = fairness_report([record(0.0, 150.0)])
+        rows = report.as_rows()
+        assert any("Jain" in str(row[0]) for row in rows)
+
+
+class TestPolicyFairnessOrdering:
+    def test_farm_more_fcfs_than_out_of_order(self):
+        """End-to-end: the farm completes nearly in order, out-of-order
+        doesn't — the quantitative version of the paper's §4 fairness
+        discussion."""
+        from repro.core import units
+        from .policy_helpers import micro_config, run_policy, trace
+
+        entries = [
+            (i * 500.0, (i * 13_337) % 60_000, 400 + 61 * (i % 7))
+            for i in range(40)
+        ]
+        config = micro_config(duration=8 * units.DAY)
+        farm = run_policy("farm", trace(*entries), config)
+        ooo = run_policy("out-of-order", trace(*entries), config)
+        farm_overtakes = overtake_fraction(farm.records)
+        ooo_overtakes = overtake_fraction(ooo.records)
+        assert farm_overtakes <= ooo_overtakes

@@ -1,0 +1,195 @@
+"""Tests for metrics records, aggregation and overload detection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.sim.metrics import (
+    BacklogSample,
+    JobRecord,
+    MetricsCollector,
+    PerformanceSummary,
+)
+from repro.sim.overload import analyse_backlog
+
+from .helpers import make_job
+
+
+def record(
+    arrival=0.0, schedule=None, start=10.0, end=110.0, n_events=100,
+    reference=80.0, job_id=0,
+):
+    return JobRecord(
+        job_id=job_id,
+        arrival_time=arrival,
+        schedule_time=arrival if schedule is None else schedule,
+        first_start=start,
+        completion=end,
+        n_events=n_events,
+        reference_time=reference,
+    )
+
+
+class TestJobRecord:
+    def test_waiting_and_processing(self):
+        r = record(arrival=5.0, start=15.0, end=115.0)
+        assert r.waiting_time == pytest.approx(10.0)
+        assert r.processing_time == pytest.approx(100.0)
+        assert r.sojourn_time == pytest.approx(110.0)
+
+    def test_waiting_excl_delay(self):
+        r = record(arrival=0.0, schedule=50.0, start=60.0)
+        assert r.waiting_time == pytest.approx(60.0)
+        assert r.waiting_time_excl_delay == pytest.approx(10.0)
+
+    def test_speedup(self):
+        r = record(start=0.0, end=40.0, reference=80.0)
+        assert r.speedup == pytest.approx(2.0)
+
+
+class TestMetricsCollector:
+    def test_records_completions(self):
+        collector = MetricsCollector(uncached_event_time=0.8)
+        job = make_job(0, 100, arrival=1.0)
+        collector.on_arrival(job)
+        job.mark_started(2.0)
+        job.completion = 50.0
+        collector.on_completion(job)
+        assert collector.jobs_arrived == 1
+        assert collector.jobs_completed == 1
+        assert collector.records[0].reference_time == pytest.approx(80.0)
+
+    def test_measured_filters_warmup(self):
+        collector = MetricsCollector(0.8)
+        for arrival in (0.0, 100.0, 200.0):
+            job = make_job(0, 10, arrival=arrival)
+            collector.on_arrival(job)
+            job.mark_started(arrival + 1)
+            job.completion = arrival + 5
+            collector.on_completion(job)
+        assert len(collector.measured_records(warmup_time=50.0)) == 2
+
+    def test_probe(self):
+        collector = MetricsCollector(0.8)
+        collector.on_arrival(make_job(0, 10))
+        collector.probe(5.0, busy_nodes=3)
+        sample = collector.backlog[0]
+        assert sample.jobs_in_system == 1
+        assert sample.busy_nodes == 3
+
+
+class TestPerformanceSummary:
+    def test_aggregates(self):
+        records = [
+            record(arrival=0.0, start=10.0, end=110.0, reference=200.0),
+            record(arrival=0.0, start=30.0, end=130.0, reference=400.0),
+        ]
+        summary = PerformanceSummary.from_records(records, measure_interval=3600.0)
+        assert summary.n_jobs == 2
+        assert summary.mean_waiting == pytest.approx(20.0)
+        assert summary.mean_processing == pytest.approx(100.0)
+        assert summary.mean_speedup == pytest.approx((2.0 + 4.0) / 2)
+        assert summary.throughput_per_hour == pytest.approx(2.0)
+
+    def test_empty_records_give_nan(self):
+        summary = PerformanceSummary.from_records([])
+        assert math.isnan(summary.mean_waiting)
+        assert math.isnan(summary.mean_speedup)
+        assert summary.n_jobs == 0
+
+    def test_percentiles(self):
+        records = [record(arrival=0.0, start=float(w)) for w in range(100)]
+        summary = PerformanceSummary.from_records(records)
+        assert summary.median_waiting == pytest.approx(49.5)
+        assert summary.p95_waiting == pytest.approx(94.05, rel=0.01)
+        assert summary.max_waiting == pytest.approx(99.0)
+
+
+def samples(backlogs, t0=0.0, step=units.HOUR):
+    return [
+        BacklogSample(time=t0 + i * step, jobs_in_system=b, busy_nodes=0)
+        for i, b in enumerate(backlogs)
+    ]
+
+
+class TestOverloadDetection:
+    def test_stable_backlog_is_steady(self):
+        verdict = analyse_backlog(
+            samples([5, 6, 5, 7, 5, 6, 5, 6] * 10),
+            warmup_time=0.0,
+            jobs_arrived=1000,
+            jobs_completed=995,
+            duration=80 * units.HOUR,
+        )
+        assert not verdict.overloaded
+
+    def test_growing_backlog_is_overloaded(self):
+        growing = [int(5 + 2.0 * i) for i in range(80)]
+        verdict = analyse_backlog(
+            samples(growing),
+            warmup_time=0.0,
+            jobs_arrived=1000,
+            jobs_completed=840,
+            duration=80 * units.HOUR,
+        )
+        assert verdict.overloaded
+        assert verdict.backlog_slope_per_hour > 0
+
+    def test_growth_without_completion_deficit_is_steady(self):
+        # Backlog trend up but completions keep pace (burst absorption).
+        growing = [int(5 + 0.8 * i) for i in range(80)]
+        verdict = analyse_backlog(
+            samples(growing),
+            warmup_time=0.0,
+            jobs_arrived=1000,
+            jobs_completed=990,
+            duration=80 * units.HOUR,
+        )
+        assert not verdict.overloaded
+
+    def test_warmup_excluded(self):
+        # Huge warmup transient, flat afterwards.
+        backlogs = [100 - i for i in range(50)] + [50] * 50
+        verdict = analyse_backlog(
+            samples(backlogs),
+            warmup_time=50 * units.HOUR,
+            jobs_arrived=1000,
+            jobs_completed=980,
+            duration=100 * units.HOUR,
+        )
+        assert not verdict.overloaded
+
+    def test_few_samples_falls_back_to_rates(self):
+        verdict = analyse_backlog(
+            samples([1, 2]),
+            warmup_time=0.0,
+            jobs_arrived=100,
+            jobs_completed=50,
+            duration=2 * units.HOUR,
+        )
+        assert verdict.overloaded
+        assert math.isnan(verdict.backlog_slope_per_hour)
+
+    def test_few_samples_few_jobs_is_steady(self):
+        verdict = analyse_backlog(
+            samples([1]),
+            warmup_time=0.0,
+            jobs_arrived=5,
+            jobs_completed=3,
+            duration=units.HOUR,
+        )
+        assert not verdict.overloaded
+
+    def test_rates_reported(self):
+        verdict = analyse_backlog(
+            samples([0] * 10),
+            warmup_time=0.0,
+            jobs_arrived=240,
+            jobs_completed=240,
+            duration=240 * units.HOUR,
+        )
+        assert verdict.arrival_rate_per_hour == pytest.approx(1.0)
+        assert verdict.completion_rate_per_hour == pytest.approx(1.0)
+        assert verdict.utilization_of_arrivals == pytest.approx(1.0)

@@ -1,0 +1,146 @@
+"""Behavioural tests for adaptive delay scheduling (§6) and the mixed
+policy (§7 future work)."""
+
+import pytest
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.sched.adaptive import DEFAULT_DELAY_TABLE, AdaptiveDelayPolicy
+
+from .policy_helpers import build_sim, micro_config, record_of, run_policy, trace
+
+
+class TestDelayTable:
+    def test_default_table_is_sorted_and_monotone(self):
+        fractions = [f for f, _ in DEFAULT_DELAY_TABLE]
+        delays = [d for _, d in DEFAULT_DELAY_TABLE]
+        assert fractions == sorted(fractions)
+        assert delays == sorted(delays)
+        assert delays[0] == 0.0
+
+    def test_unsorted_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveDelayPolicy(delay_table=[(0.8, 100.0), (0.5, 0.0)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveDelayPolicy(delay_table=[])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveDelayPolicy(estimation_window=0.0)
+
+
+class TestLowLoadBehaviour:
+    def test_stays_at_zero_delay(self):
+        # Micro config: capacity ~27 jobs/h cached; 2/h is a whisper.
+        entries = [(1800.0 * i, (i * 9001) % 60_000, 800) for i in range(60)]
+        result = run_policy(
+            "adaptive",
+            trace(*entries),
+            micro_config(duration=5 * units.DAY),
+            stripe_events=400,
+        )
+        assert result.policy_stats["current_delay"] == 0.0
+        assert result.policy_stats["periods"] == 0.0
+
+    def test_jobs_start_immediately_at_zero_delay(self):
+        result = run_policy(
+            "adaptive", trace((500.0, 0, 1000)), stripe_events=400
+        )
+        assert record_of(result, 0).first_start == pytest.approx(500.0)
+
+
+class TestEscalation:
+    def test_high_load_enters_delayed_mode(self):
+        # Micro config max load: 2 nodes / (1000 ev x 0.26 s) = 27.7/h.
+        # Offer 24/h (87 % of max): the policy must escalate.
+        entries = [(150.0 * i, (i * 9001) % 60_000, 1000) for i in range(500)]
+        sim = build_sim(
+            "adaptive",
+            trace(*entries),
+            micro_config(duration=2 * units.DAY, probe_interval=units.HOUR),
+            stripe_events=400,
+            estimation_window=6 * units.HOUR,
+        )
+        result = sim.run()
+        assert result.policy_stats["delay_changes"] >= 1
+        assert result.policy_stats["periods"] >= 1
+
+    def test_hysteresis_moves_one_step_per_decision(self):
+        policy = AdaptiveDelayPolicy(stripe_events=400)
+        # Fake a huge estimated load: target index = last row.
+        policy.estimated_load_fraction = lambda: 10.0  # type: ignore[assignment]
+        first = policy.choose_delay()
+        second = policy.choose_delay()
+        table_delays = [d for _, d in policy.delay_table]
+        assert first == table_delays[1]
+        assert second == table_delays[2]
+
+    def test_deescalation_also_steps(self):
+        policy = AdaptiveDelayPolicy(stripe_events=400)
+        policy.estimated_load_fraction = lambda: 10.0  # type: ignore[assignment]
+        for _ in range(len(policy.delay_table)):
+            policy.choose_delay()
+        policy.estimated_load_fraction = lambda: 0.0  # type: ignore[assignment]
+        delays = [policy.choose_delay() for _ in range(len(policy.delay_table))]
+        assert delays[-1] == 0.0
+        assert delays == sorted(delays, reverse=True)
+
+
+class TestEstimator:
+    def test_estimated_load_tracks_arrivals(self):
+        entries = [(600.0 * i, (i * 9001) % 60_000, 500) for i in range(200)]
+        sim = build_sim(
+            "adaptive",
+            trace(*entries),
+            micro_config(duration=1 * units.DAY),
+            stripe_events=400,
+        )
+        result = sim.run()
+        # 6 arrivals/hour offered.
+        assert result.policy_stats["estimated_load_per_hour"] == pytest.approx(
+            6.0, rel=0.35
+        )
+
+
+class TestMixedPolicy:
+    def test_immediate_dispatch_on_idle_cluster(self):
+        result = run_policy(
+            "mixed",
+            trace((500.0, 0, 1000)),
+            period=6 * units.HOUR,
+            stripe_events=400,
+        )
+        assert record_of(result, 0).first_start == pytest.approx(500.0)
+
+    def test_accumulates_when_busy(self):
+        # Saturate both nodes, then a third job arrives: it waits for the
+        # boundary instead of starting immediately.
+        period = 2 * units.HOUR
+        entries = [
+            (0.0, 0, 9000),
+            (1.0, 20_000, 9000),
+            (10.0, 40_000, 500),
+        ]
+        result = run_policy(
+            "mixed", trace(*entries), period=period, stripe_events=9000
+        )
+        third = record_of(result, 2)
+        assert third.first_start >= period
+        assert result.policy_stats["immediate_jobs"] == 2
+
+    def test_mixed_beats_delayed_waiting_at_low_load(self):
+        entries = [(3600.0 * i, (i * 9001) % 60_000, 1000) for i in range(40)]
+        config = micro_config(duration=4 * units.DAY)
+        waits = {}
+        for policy in ("delayed", "mixed"):
+            result = run_policy(
+                policy,
+                trace(*entries),
+                config,
+                period=6 * units.HOUR,
+                stripe_events=400,
+            )
+            waits[policy] = result.measured.mean_waiting
+        assert waits["mixed"] < waits["delayed"]

@@ -1,0 +1,96 @@
+"""Degenerate-configuration tests: every policy must behave sanely on
+single-node clusters, zero caches, and minimum-size jobs."""
+
+import pytest
+
+from repro.core import units
+
+from .policy_helpers import build_sim, micro_config, record_of, run_policy, trace
+
+ALL_POLICIES = [
+    ("farm", {}),
+    ("splitting", {}),
+    ("cache-splitting", {}),
+    ("out-of-order", {}),
+    ("replication", {}),
+    ("delayed", {"period": 2 * units.HOUR, "stripe_events": 200}),
+    ("adaptive", {"stripe_events": 200}),
+    ("mixed", {"period": 2 * units.HOUR, "stripe_events": 200}),
+]
+
+ENTRIES = [(i * 900.0, (i * 9973) % 60_000, 150 + 37 * (i % 5)) for i in range(25)]
+
+
+@pytest.mark.parametrize("policy,params", ALL_POLICIES)
+class TestSingleNode:
+    def test_everything_completes_serially(self, policy, params):
+        config = micro_config(n_nodes=1, duration=8 * units.DAY)
+        result = run_policy(policy, trace(*ENTRIES), config, **params)
+        assert result.jobs_completed == len(ENTRIES)
+
+    def test_no_speedup_beyond_caching(self, policy, params):
+        config = micro_config(n_nodes=1, duration=8 * units.DAY)
+        result = run_policy(policy, trace(*ENTRIES), config, **params)
+        # One node: parallel speedup is impossible; only the caching
+        # factor (~3.08) remains.
+        assert result.measured.mean_speedup < 3.2
+
+
+@pytest.mark.parametrize("policy,params", ALL_POLICIES)
+class TestZeroCache:
+    def test_policies_survive_without_cache(self, policy, params):
+        config = micro_config(cache_bytes=0, duration=8 * units.DAY)
+        result = run_policy(policy, trace(*ENTRIES), config, **params)
+        assert result.jobs_completed == len(ENTRIES)
+        assert result.events_by_source["cache"] == 0
+        # Everything streams from tertiary storage.
+        total = sum(n for _, _, n in ENTRIES)
+        assert result.tertiary_events_read == total
+
+
+@pytest.mark.parametrize("policy,params", ALL_POLICIES)
+class TestMinimumSizeJobs:
+    def test_jobs_at_minimum_size(self, policy, params):
+        entries = [(i * 400.0, 100 * i, 10) for i in range(20)]
+        result = run_policy(policy, trace(*entries), **params)
+        assert result.jobs_completed == 20
+
+    def test_single_event_jobs(self, policy, params):
+        entries = [(i * 300.0, 50 * i, 1) for i in range(10)]
+        result = run_policy(policy, trace(*entries), **params)
+        assert result.jobs_completed == 10
+
+
+@pytest.mark.parametrize("policy,params", ALL_POLICIES)
+class TestIdenticalSegments:
+    def test_hot_segment_hammering(self, policy, params):
+        """Every job reads the same segment — the extreme hot-spot."""
+        entries = [(i * 700.0, 0, 2000) for i in range(20)]
+        result = run_policy(policy, trace(*entries), **params)
+        assert result.jobs_completed == 20
+        if result.events_by_source["cache"] > 0:
+            # Cache-aware policies fetch the segment once-ish.
+            assert result.tertiary_redundancy < 2.0
+
+
+@pytest.mark.parametrize("policy,params", ALL_POLICIES)
+class TestBurstArrival:
+    def test_simultaneous_arrivals(self, policy, params):
+        """20 jobs in the same second (conference-deadline burst)."""
+        entries = [(float(i) * 0.01, (i * 11_003) % 60_000, 500) for i in range(20)]
+        config = micro_config(duration=6 * units.DAY)
+        result = run_policy(policy, trace(*entries), config, **params)
+        assert result.jobs_completed == 20
+
+
+class TestTwoNodeHeterogeneous:
+    def test_speed_factors_respected_end_to_end(self):
+        config = micro_config(
+            node_speed_factors=(1.0, 3.0), duration=6 * units.DAY
+        )
+        sim = build_sim("splitting", trace((0.0, 0, 3000)), config)
+        result = sim.run()
+        assert result.jobs_completed == 1
+        fast, slow = sim.cluster.nodes
+        # The fast node processed (weakly) more events.
+        assert fast.stats.events_processed >= slow.stats.events_processed

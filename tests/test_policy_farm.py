@@ -1,0 +1,74 @@
+"""Behavioural tests for the processing-farm policy (§3.1)."""
+
+import pytest
+
+from repro.core import units
+
+from .policy_helpers import micro_config, record_of, run_policy, trace
+
+
+class TestSingleJob:
+    def test_runs_at_uncached_rate_on_one_node(self):
+        result = run_policy("farm", trace((0.0, 0, 1000)))
+        record = record_of(result, 0)
+        assert record.waiting_time == pytest.approx(0.0)
+        assert record.processing_time == pytest.approx(1000 * 0.8)
+        assert record.speedup == pytest.approx(1.0)
+
+    def test_no_caching(self):
+        # The same segment twice: both pay full tertiary price.
+        result = run_policy(
+            "farm", trace((0.0, 0, 1000), (1000.0, 0, 1000))
+        )
+        assert record_of(result, 1).processing_time == pytest.approx(800.0)
+        assert result.tertiary_events_read == 2000
+        assert result.events_by_source["cache"] == 0
+
+    def test_one_subjob_per_job(self):
+        result = run_policy("farm", trace((0.0, 0, 500), (0.0, 500, 700)))
+        # Processing on separate nodes: both start immediately.
+        assert record_of(result, 0).waiting_time == 0.0
+        assert record_of(result, 1).waiting_time == 0.0
+
+
+class TestFCFS:
+    def test_queue_is_fifo(self):
+        # 2 nodes, 5 equal jobs arriving in order.
+        entries = [(float(i), i * 1000, 1000) for i in range(5)]
+        result = run_policy("farm", trace(*entries))
+        starts = [record_of(result, i).first_start for i in range(5)]
+        assert starts == sorted(starts)
+
+    def test_queued_job_waits_for_first_completion(self):
+        entries = [(0.0, 0, 1000), (0.0, 2000, 1000), (1.0, 4000, 500)]
+        result = run_policy("farm", trace(*entries))
+        third = record_of(result, 2)
+        # Both nodes busy until t=800; the third job starts then.
+        assert third.first_start == pytest.approx(800.0)
+
+    def test_node_dedicated_until_job_end(self):
+        # A short job arriving mid-flight must not steal the busy node.
+        entries = [(0.0, 0, 2000), (0.0, 5000, 2000), (10.0, 10_000, 50)]
+        result = run_policy("farm", trace(*entries))
+        short = record_of(result, 2)
+        assert short.first_start == pytest.approx(2000 * 0.8)
+
+
+class TestSaturation:
+    def test_overload_detected_beyond_capacity(self):
+        # 2 nodes, 1000-event jobs (800 s each): capacity = 9 jobs/h.
+        config = micro_config(
+            arrival_rate_per_hour=12.0, duration=6 * units.DAY
+        )
+        result = run_policy("farm", trace(
+            *[(i * 300.0, (i * 997) % 90_000, 1000) for i in range(1700)]
+        ), config=config)
+        assert result.overload.overloaded
+
+    def test_steady_below_capacity(self):
+        config = micro_config(duration=4 * units.DAY)
+        entries = [(i * 1200.0, (i * 997) % 90_000, 1000) for i in range(280)]
+        result = run_policy("farm", trace(*entries), config=config)
+        assert not result.overload.overloaded
+        # 3 jobs/h x 800 s each over 2 nodes: rho = 2400/7200 = 1/3.
+        assert result.node_utilization == pytest.approx(1 / 3, abs=0.02)

@@ -1,0 +1,113 @@
+"""Behavioural tests for the job-splitting policy (§3.2, Table 1)."""
+
+import pytest
+
+from repro.core import units
+from repro.workload.jobs import SubjobState
+
+from .policy_helpers import build_sim, micro_config, record_of, run_policy, trace
+
+
+class TestParallelisation:
+    def test_single_job_uses_all_idle_nodes(self):
+        result = run_policy("splitting", trace((0.0, 0, 1000)))
+        record = record_of(result, 0)
+        # Split over 2 nodes: half the serial time.
+        assert record.processing_time == pytest.approx(500 * 0.8)
+        assert record.speedup == pytest.approx(2.0)
+
+    def test_four_nodes_quarter_time(self):
+        config = micro_config(n_nodes=4)
+        result = run_policy("splitting", trace((0.0, 0, 1000)), config=config)
+        assert record_of(result, 0).processing_time == pytest.approx(250 * 0.8)
+
+    def test_no_caching_ever(self):
+        result = run_policy(
+            "splitting", trace((0.0, 0, 1000), (2000.0, 0, 1000))
+        )
+        assert result.events_by_source["cache"] == 0
+        assert result.tertiary_events_read == 2000
+
+    def test_tiny_job_not_split_below_minimum(self):
+        config = micro_config(n_nodes=4)
+        result = run_policy("splitting", trace((0.0, 0, 15)), config=config)
+        # 15 events with minimum 10: one piece only (15 < 2x10).
+        assert record_of(result, 0).processing_time == pytest.approx(15 * 0.8)
+
+
+class TestArrivalPreemption:
+    def test_new_job_takes_node_from_parallel_job(self):
+        # Job 0 spreads over both nodes; job 1 arrives and must get one.
+        result = run_policy(
+            "splitting", trace((0.0, 0, 10_000), (100.0, 50_000, 1000))
+        )
+        second = record_of(result, 1)
+        assert second.waiting_time == pytest.approx(0.0)
+        # Job 1 runs on a single node at the uncached rate.
+        assert second.processing_time == pytest.approx(800.0)
+
+    def test_victim_job_still_completes(self):
+        result = run_policy(
+            "splitting", trace((0.0, 0, 10_000), (100.0, 50_000, 1000))
+        )
+        first = record_of(result, 0)
+        # 10 000 events, one node lost to job 1 between t=100 and t=900,
+        # the suspended half resumes afterwards: still finishes fully.
+        assert first.processing_time > 10_000 * 0.8 / 2
+        assert result.jobs_completed == 2
+
+    def test_job_never_loses_last_node(self):
+        # Many small arrivals against one big job: the big job must keep
+        # making progress (once down to one node it is never preempted).
+        entries = [(0.0, 0, 5000)] + [
+            (50.0 + 10 * i, 10_000 + 2000 * i, 300) for i in range(6)
+        ]
+        result = run_policy("splitting", trace(*entries))
+        assert result.jobs_completed == 7
+
+    def test_full_cluster_queues_fifo(self):
+        entries = [
+            (0.0, 0, 2000),
+            (1.0, 10_000, 2000),
+            (2.0, 20_000, 2000),
+            (3.0, 30_000, 2000),
+        ]
+        result = run_policy("splitting", trace(*entries))
+        starts = [record_of(result, i).first_start for i in range(4)]
+        assert starts == sorted(starts)
+
+
+class TestSubjobEndRebalancing:
+    def test_freed_node_splits_largest_running_subjob(self):
+        # Jobs 0 and 1 start together (one node each, no idle nodes). When
+        # the short job 0 finishes, its node must split job 1's remaining
+        # work, halving its completion time from then on.
+        result = run_policy(
+            "splitting", trace((0.0, 0, 1000), (0.5, 10_000, 9000))
+        )
+        long_job = record_of(result, 1)
+        serial_end = 0.5 + 9000 * 0.8
+        assert long_job.completion < serial_end * 0.75
+
+    def test_suspended_subjob_resumed_on_same_job_completion(self):
+        sim = build_sim(
+            "splitting", trace((0.0, 0, 10_000), (100.0, 50_000, 1000))
+        )
+        result = sim.run()
+        job0 = sim.jobs[0]
+        # All of job 0's subjobs finished.
+        assert all(s.state is SubjobState.DONE for s in job0.subjobs)
+        assert job0.events_done == 10_000
+
+
+class TestConservation:
+    def test_all_events_processed_exactly_once(self):
+        entries = [(i * 600.0, (i * 7919) % 80_000, 500 + 37 * i) for i in range(40)]
+        sim = build_sim("splitting", trace(*entries), micro_config(duration=10 * units.DAY))
+        result = sim.run()
+        assert result.jobs_completed == 40
+        for job in sim.jobs.values():
+            job.check_invariants()
+            assert job.events_done == job.n_events
+        total_events = sum(500 + 37 * i for i in range(40))
+        assert result.tertiary_events_read == total_events

@@ -1,0 +1,128 @@
+"""Tests for the analytic queueing models and their agreement with the
+simulated processing farm (§3.1)."""
+
+import math
+
+import pytest
+
+from repro.analysis.queueing import (
+    erlang_c,
+    merlang_wait,
+    mgc_wait_allen_cunneen,
+    mmc_wait,
+)
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.sim.config import paper_config
+from repro.sim.simulator import run_simulation
+
+
+class TestErlangC:
+    def test_single_server_is_rho(self):
+        # For M/M/1, P(wait) = rho.
+        assert erlang_c(1, 0.3) == pytest.approx(0.3)
+        assert erlang_c(1, 0.9) == pytest.approx(0.9)
+
+    def test_saturated_is_one(self):
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 5.0) == 1.0
+
+    def test_zero_load(self):
+        assert erlang_c(5, 0.0) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # Classic table value: m=2, offered 1.0 erlang -> P(wait)=1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_more_servers_less_waiting(self):
+        assert erlang_c(10, 5.0) < erlang_c(6, 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            erlang_c(2, -1.0)
+
+
+class TestMMC:
+    def test_mm1_closed_form(self):
+        # M/M/1: Wq = rho / (mu - lambda).
+        lam, mean_service = 0.5, 1.0
+        prediction = mmc_wait(1, lam, mean_service)
+        rho = lam * mean_service
+        assert prediction.mean_wait == pytest.approx(rho / (1.0 - rho))
+        assert prediction.mean_sojourn == pytest.approx(
+            prediction.mean_wait + mean_service
+        )
+
+    def test_unstable_reports_infinite_wait(self):
+        prediction = mmc_wait(2, 3.0, 1.0)
+        assert not prediction.stable
+        assert math.isinf(prediction.mean_wait)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mmc_wait(2, 0.0, 1.0)
+
+
+class TestAllenCunneen:
+    def test_exact_for_mmc(self):
+        base = mmc_wait(3, 0.5, 4.0)
+        approx = mgc_wait_allen_cunneen(3, 0.5, 4.0, service_scv=1.0)
+        assert approx.mean_wait == pytest.approx(base.mean_wait)
+
+    def test_erlang_service_waits_less(self):
+        exponential = mmc_wait(3, 0.5, 4.0)
+        erlang = merlang_wait(3, 0.5, 4.0, erlang_shape=4)
+        assert erlang.mean_wait == pytest.approx(
+            exponential.mean_wait * (1 + 0.25) / 2
+        )
+
+    def test_deterministic_service_halves_wait(self):
+        exponential = mmc_wait(2, 0.4, 2.0)
+        deterministic = mgc_wait_allen_cunneen(2, 0.4, 2.0, service_scv=0.0)
+        assert deterministic.mean_wait == pytest.approx(exponential.mean_wait / 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mgc_wait_allen_cunneen(2, 0.5, 1.0, service_scv=-1.0)
+        with pytest.raises(ConfigurationError):
+            merlang_wait(2, 0.5, 1.0, erlang_shape=0)
+
+
+class TestFarmMatchesTheory:
+    """The §3.1 claim: the farm behaves as an M/Er/m queue."""
+
+    @pytest.mark.slow
+    def test_simulated_wait_tracks_prediction(self):
+        config = paper_config(
+            arrival_rate_per_hour=0.9,
+            duration=120 * units.DAY,  # long run for tight statistics
+            warmup_fraction=0.1,
+            seed=5,
+        )
+        result = run_simulation(config, "farm")
+        prediction = merlang_wait(
+            servers=config.n_nodes,
+            arrival_rate=units.per_hour(0.9),
+            mean_service=config.mean_service_time_uncached,
+            erlang_shape=config.erlang_shape,
+        )
+        assert not result.overload.overloaded
+        assert result.measured.mean_waiting == pytest.approx(
+            prediction.mean_wait, rel=0.30
+        )
+
+    def test_utilization_matches_rho(self):
+        config = paper_config(
+            arrival_rate_per_hour=0.8, duration=60 * units.DAY, seed=5
+        )
+        result = run_simulation(config, "farm")
+        rho = (
+            units.per_hour(0.8)
+            * config.mean_service_time_uncached
+            / config.n_nodes
+        )
+        # Tolerance covers Poisson arrival noise plus the in-flight work
+        # cut off at the simulation horizon.
+        assert result.node_utilization == pytest.approx(rho, rel=0.08)

@@ -1,0 +1,67 @@
+"""Tests for repro.core.rng: deterministic named streams."""
+
+import numpy as np
+
+from repro.core.rng import RandomStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).get("arrivals").random(100)
+        b = RandomStreams(7).get("arrivals").random(100)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(7).get("arrivals").random(100)
+        b = RandomStreams(8).get("arrivals").random(100)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        a = streams.get("arrivals").random(100)
+        b = streams.get("sizes").random(100)
+        assert not np.array_equal(a, b)
+
+
+class TestIsolation:
+    def test_consuming_one_stream_does_not_shift_another(self):
+        reference = RandomStreams(3).get("b").random(50)
+
+        streams = RandomStreams(3)
+        streams.get("a").random(1000)  # heavy use of an unrelated stream
+        assert np.array_equal(streams.get("b").random(50), reference)
+
+    def test_stream_is_memoised(self):
+        streams = RandomStreams(1)
+        assert streams.get("x") is streams.get("x")
+
+    def test_creation_order_irrelevant(self):
+        one = RandomStreams(9)
+        one.get("first")
+        ref = one.get("second").random(10)
+
+        two = RandomStreams(9)
+        got = two.get("second").random(10)  # "first" never created
+        assert np.array_equal(got, ref)
+
+
+class TestSpawn:
+    def test_spawned_children_are_deterministic(self):
+        a = RandomStreams(5).spawn("rep1").get("x").random(10)
+        b = RandomStreams(5).spawn("rep1").get("x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_spawned_children_differ_by_name(self):
+        root = RandomStreams(5)
+        a = root.spawn("rep1").get("x").random(10)
+        b = root.spawn("rep2").get("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        root = RandomStreams(5)
+        a = root.get("x").random(10)
+        b = root.spawn("child").get("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_seed_property(self):
+        assert RandomStreams(17).seed == 17

@@ -1,0 +1,161 @@
+"""Tests for non-stationary workload scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.core.errors import WorkloadError
+from repro.core.rng import RandomStreams
+from repro.data.dataspace import DataSpace
+from repro.workload.distributions import ErlangJobSize, HotspotStartDistribution
+from repro.workload.scenarios import (
+    DiurnalWorkload,
+    PhasedWorkload,
+    RateFunctionWorkload,
+    workload_from_config,
+)
+from repro.workload.trace import validate_trace
+from repro.sim.config import quick_config
+
+
+@pytest.fixture
+def space():
+    return DataSpace(total_events=1_000_000, event_bytes=600 * units.KB)
+
+
+def common(space, seed=1):
+    return dict(
+        job_size=ErlangJobSize(2000, 4),
+        start_distribution=HotspotStartDistribution(space),
+        streams=RandomStreams(seed),
+    )
+
+
+class TestPhasedWorkload:
+    def test_rates_per_phase(self, space):
+        phases = [(1.0, 10.0), (4.0, 5.0), (1.0, 10.0)]
+        workload = PhasedWorkload(space, phases, **common(space))
+        trace = workload.generate_list()
+        validate_trace(trace)
+        bounds = workload.phase_bounds()
+        counts = []
+        for start, end in bounds:
+            n = sum(1 for r in trace if start <= r.arrival_time < end)
+            counts.append(n / ((end - start) / units.HOUR))
+        assert counts[0] == pytest.approx(1.0, abs=0.35)
+        assert counts[1] == pytest.approx(4.0, abs=0.9)
+        assert counts[2] == pytest.approx(1.0, abs=0.35)
+
+    def test_total_duration(self, space):
+        workload = PhasedWorkload(space, [(1.0, 2.0), (2.0, 3.0)], **common(space))
+        assert workload.total_duration == pytest.approx(5 * units.DAY)
+
+    def test_deterministic(self, space):
+        phases = [(2.0, 5.0)]
+        a = PhasedWorkload(space, phases, **common(space, seed=7)).generate_list()
+        b = PhasedWorkload(space, phases, **common(space, seed=7)).generate_list()
+        assert a == b
+
+    def test_validation(self, space):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(space, [], **common(space))
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(space, [(1.0, 0.0)], **common(space))
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(space, [(-1.0, 1.0)], **common(space))
+
+
+class TestDiurnalWorkload:
+    def test_mean_rate(self, space):
+        workload = DiurnalWorkload(
+            space, mean_rate_per_hour=3.0, amplitude_per_hour=2.0, **common(space)
+        )
+        trace = workload.generate_list(30 * units.DAY)
+        rate = len(trace) / (30 * 24)
+        assert rate == pytest.approx(3.0, rel=0.1)
+
+    def test_peak_is_where_requested(self, space):
+        workload = DiurnalWorkload(
+            space,
+            mean_rate_per_hour=3.0,
+            amplitude_per_hour=2.9,
+            peak_hour=12.0,
+            **common(space),
+        )
+        trace = workload.generate_list(60 * units.DAY)
+        hours = np.array([(r.arrival_time / units.HOUR) % 24 for r in trace])
+        by_hour, _ = np.histogram(hours, bins=24, range=(0, 24))
+        peak_hour = int(np.argmax(by_hour))
+        assert abs(peak_hour - 12) <= 2
+
+    def test_amplitude_validation(self, space):
+        with pytest.raises(WorkloadError):
+            DiurnalWorkload(
+                space, mean_rate_per_hour=1.0, amplitude_per_hour=2.0,
+                **common(space),
+            )
+
+
+class TestRateFunctionWorkload:
+    def test_zero_rate_produces_nothing(self, space):
+        workload = RateFunctionWorkload(
+            space, lambda t: 0.0, units.per_hour(5.0), **common(space)
+        )
+        assert workload.generate_list(5 * units.DAY) == []
+
+    def test_rate_exceeding_bound_raises(self, space):
+        workload = RateFunctionWorkload(
+            space, lambda t: units.per_hour(10.0), units.per_hour(5.0),
+            **common(space),
+        )
+        with pytest.raises(WorkloadError):
+            workload.generate_list(5 * units.DAY)
+
+    def test_bad_rate_max(self, space):
+        with pytest.raises(WorkloadError):
+            RateFunctionWorkload(space, lambda t: 1.0, 0.0, **common(space))
+
+    def test_constant_rate_matches_poisson_stats(self, space):
+        rate = units.per_hour(2.0)
+        workload = RateFunctionWorkload(
+            space, lambda t: rate, rate, **common(space)
+        )
+        trace = workload.generate_list(60 * units.DAY)
+        assert len(trace) == pytest.approx(2.0 * 24 * 60, rel=0.1)
+
+
+class TestWorkloadFromConfig:
+    def test_phased(self):
+        config = quick_config(seed=3)
+        workload = workload_from_config(
+            config, kind="phased", phases=[(2.0, 3.0)]
+        )
+        trace = workload.generate_list()
+        assert trace
+        validate_trace(trace)
+
+    def test_diurnal(self):
+        config = quick_config(seed=3)
+        workload = workload_from_config(
+            config, kind="diurnal", mean_rate_per_hour=2.0,
+            amplitude_per_hour=1.0,
+        )
+        assert workload.generate_list(3 * units.DAY)
+
+    def test_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            workload_from_config(quick_config(), kind="bursty")
+
+
+class TestEndToEnd:
+    def test_phased_trace_drives_simulation(self):
+        from repro.sim.simulator import run_simulation
+
+        config = quick_config(seed=5, duration=6 * units.DAY, warmup_fraction=0.0)
+        workload = workload_from_config(
+            config, kind="phased", phases=[(2.0, 2.0), (6.0, 2.0), (2.0, 2.0)]
+        )
+        trace = workload.generate_list()
+        result = run_simulation(config, "out-of-order", trace=trace)
+        assert result.jobs_arrived == len(trace)
+        assert result.jobs_completed > 0

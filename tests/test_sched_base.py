@@ -1,0 +1,179 @@
+"""Tests for the scheduler framework: registry, shared helpers."""
+
+import pytest
+
+from repro.cluster.access import CachingPlanner
+from repro.core.errors import ConfigurationError, SchedulingError
+from repro.data.intervals import Interval
+from repro.sched.base import (
+    SchedulerPolicy,
+    available_policies,
+    best_subjob_for_node,
+    create_policy,
+    register_policy,
+    split_interval_by_caches,
+)
+
+from .conftest import make_cluster
+from .helpers import make_subjob
+from .policy_helpers import build_sim, micro_config, trace
+
+
+class TestRegistry:
+    def test_all_paper_policies_registered(self):
+        names = available_policies()
+        for expected in (
+            "farm",
+            "splitting",
+            "cache-splitting",
+            "out-of-order",
+            "replication",
+            "delayed",
+            "adaptive",
+            "mixed",
+        ):
+            assert expected in names
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ConfigurationError):
+            create_policy("no-such-policy")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+
+            @register_policy
+            class Duplicate(SchedulerPolicy):  # pragma: no cover
+                name = "farm"
+
+                def on_job_arrival(self, job):
+                    pass
+
+                def on_subjob_end(self, node, subjob):
+                    pass
+
+                def on_job_end(self, node, job, subjob):
+                    pass
+
+    def test_unnamed_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+
+            @register_policy
+            class NoName(SchedulerPolicy):  # pragma: no cover
+                def on_job_arrival(self, job):
+                    pass
+
+                def on_subjob_end(self, node, subjob):
+                    pass
+
+                def on_job_end(self, node, job, subjob):
+                    pass
+
+    def test_create_passes_params(self):
+        policy = create_policy("delayed", period=123.0, stripe_events=77)
+        assert policy.period == 123.0
+        assert policy.stripe_events == 77
+
+    def test_policy_before_bind_asserts(self):
+        policy = create_policy("farm")
+        with pytest.raises(AssertionError):
+            policy.cluster
+
+
+class TestSplitByCaches:
+    def test_cold_cluster_single_uncached_piece(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        pieces = split_interval_by_caches(Interval(0, 1000), cluster, 10)
+        assert pieces == [(Interval(0, 1000), None)]
+
+    def test_cached_parts_tagged_with_node(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        cluster[1].cache.insert(Interval(200, 500), now=0.0)
+        pieces = split_interval_by_caches(Interval(0, 1000), cluster, 10)
+        assert pieces == [
+            (Interval(0, 200), None),
+            (Interval(200, 500), cluster[1]),
+            (Interval(500, 1000), None),
+        ]
+
+    def test_pieces_tile_segment(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        cluster[0].cache.insert(Interval(100, 300), now=0.0)
+        cluster[2].cache.insert(Interval(600, 650), now=0.0)
+        pieces = split_interval_by_caches(Interval(0, 1000), cluster, 10)
+        cursor = 0
+        for interval, _ in pieces:
+            assert interval.start == cursor
+            cursor = interval.end
+        assert cursor == 1000
+
+    def test_duplicate_claims_go_to_lowest_node_id(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        cluster[2].cache.insert(Interval(0, 500), now=0.0)
+        cluster[0].cache.insert(Interval(0, 500), now=0.0)
+        pieces = split_interval_by_caches(Interval(0, 500), cluster, 10)
+        assert pieces == [(Interval(0, 500), cluster[0])]
+
+    def test_small_fragments_merged(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        cluster[0].cache.insert(Interval(100, 105), now=0.0)  # 5 < min 10
+        pieces = split_interval_by_caches(Interval(0, 1000), cluster, 10)
+        assert len(pieces) == 2  # tiny cached sliver merged away
+        total = sum(i.length for i, _ in pieces)
+        assert total == 1000
+
+    def test_segment_fully_cached_one_node(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        cluster[1].cache.insert(Interval(0, 2000), now=0.0)
+        pieces = split_interval_by_caches(Interval(500, 1500), cluster, 10)
+        assert pieces == [(Interval(500, 1500), cluster[1])]
+
+
+class TestBestSubjobForNode:
+    def test_prefers_most_cached(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        node = cluster[0]
+        a = make_subjob(0, 100)
+        b = make_subjob(200, 100)
+        node.cache.insert(Interval(200, 260), now=0.0)
+        assert best_subjob_for_node(node, [a, b]) is b
+
+    def test_ties_broken_by_size(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        node = cluster[0]
+        small = make_subjob(0, 50)
+        large = make_subjob(100, 500)
+        assert best_subjob_for_node(node, [small, large]) is large
+
+    def test_empty_candidates(self, engine, tertiary):
+        cluster = make_cluster(engine, tertiary)
+        assert best_subjob_for_node(cluster[0], []) is None
+
+
+class TestSplitRunningSubjob:
+    def test_splits_and_resumes(self):
+        sim = build_sim("out-of-order", trace((0.0, 0, 2000)), micro_config(n_nodes=1))
+        sim.prime()
+        sim.engine.run(until=80.0)  # 100 events processed
+        policy = sim.policy
+        subjob = sim.cluster[0].current
+        right = policy.split_running_subjob(subjob, 1000)
+        assert right is not None
+        assert right.segment == Interval(1000, 2000)
+        assert sim.cluster[0].current is subjob
+        assert subjob.segment.end == 1000
+
+    def test_invalid_point_restarts_subjob(self):
+        sim = build_sim("out-of-order", trace((0.0, 0, 2000)), micro_config(n_nodes=1))
+        sim.prime()
+        sim.engine.run(until=80.0)
+        policy = sim.policy
+        subjob = sim.cluster[0].current
+        right = policy.split_running_subjob(subjob, 50)  # already processed
+        assert right is None
+        assert sim.cluster[0].current is subjob
+
+    def test_not_running_raises(self):
+        sim = build_sim("out-of-order", trace((0.0, 0, 2000)), micro_config(n_nodes=1))
+        policy = sim.policy
+        with pytest.raises(SchedulingError):
+            policy.split_running_subjob(make_subjob(0, 100), 50)

@@ -1,0 +1,104 @@
+"""Tests for repro.core.units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import units
+
+
+class TestConstants:
+    def test_si_sizes(self):
+        assert units.KB == 1_000
+        assert units.MB == 1_000_000
+        assert units.GB == 1_000_000_000
+        assert units.TB == 1_000_000_000_000
+
+    def test_times(self):
+        assert units.MINUTE == 60
+        assert units.HOUR == 3600
+        assert units.DAY == 86_400
+        assert units.WEEK == 604_800
+
+
+class TestConversions:
+    def test_hours(self):
+        assert units.hours(2.5) == 9000.0
+
+    def test_days(self):
+        assert units.days(2) == 172_800.0
+
+    def test_per_hour(self):
+        assert units.per_hour(3600.0) == 1.0
+        assert units.per_hour(1.0) == pytest.approx(1 / 3600)
+
+
+class TestFmtDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.0, "0s"),
+            (1.0, "1s"),
+            (59.0, "59s"),
+            (90.0, "1.5mn"),
+            (3600.0, "1h"),
+            (7200.0, "2h"),
+            (86_400.0, "1day"),
+            (604_800.0, "1week"),
+            (1_209_600.0, "2week"),
+        ],
+    )
+    def test_examples(self, seconds, expected):
+        assert units.fmt_duration(seconds) == expected
+
+    def test_negative(self):
+        assert units.fmt_duration(-3600.0) == "-1h"
+
+    def test_nan(self):
+        assert units.fmt_duration(float("nan")) == "n/a"
+
+
+class TestFmtSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "0B"),
+            (999, "999B"),
+            (600_000, "600KB"),
+            (10_000_000, "10MB"),
+            (2_000_000_000_000, "2TB"),
+        ],
+    )
+    def test_examples(self, nbytes, expected):
+        assert units.fmt_size(nbytes) == expected
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("30", 30.0),
+            ("30s", 30.0),
+            ("5mn", 300.0),
+            ("5 min", 300.0),
+            ("5m", 300.0),
+            ("11h", 39_600.0),
+            ("2d", 172_800.0),
+            ("2 days", 172_800.0),
+            ("1 week", 604_800.0),
+            ("1w", 604_800.0),
+            ("0.5h", 1800.0),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert units.parse_duration(text) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            units.parse_duration("not a duration")
+
+    @given(st.floats(min_value=0.01, max_value=1e6, allow_nan=False))
+    def test_roundtrip_through_seconds(self, value):
+        # A bare float string always parses back to itself.
+        assert units.parse_duration(str(value)) == pytest.approx(value)

@@ -1,0 +1,149 @@
+"""Tests for the workload generator and trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.core.errors import WorkloadError
+from repro.core.rng import RandomStreams
+from repro.data.dataspace import DataSpace
+from repro.workload.distributions import ErlangJobSize, HotspotStartDistribution
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.jobs import JobRequest
+from repro.workload.trace import (
+    load_trace,
+    save_trace,
+    scale_trace_load,
+    validate_trace,
+)
+
+
+@pytest.fixture
+def space():
+    return DataSpace(total_events=1_000_000, event_bytes=600 * units.KB)
+
+
+def build_generator(space, seed=1, rate=2.0):
+    return WorkloadGenerator(
+        dataspace=space,
+        arrival_rate_per_hour=rate,
+        job_size=ErlangJobSize(5000, 4),
+        start_distribution=HotspotStartDistribution(space),
+        streams=RandomStreams(seed),
+    )
+
+
+class TestGenerator:
+    def test_deterministic(self, space):
+        a = build_generator(space, seed=1).generate_list(10 * units.DAY)
+        b = build_generator(space, seed=1).generate_list(10 * units.DAY)
+        assert a == b
+
+    def test_seed_changes_trace(self, space):
+        a = build_generator(space, seed=1).generate_list(10 * units.DAY)
+        b = build_generator(space, seed=2).generate_list(10 * units.DAY)
+        assert a != b
+
+    def test_arrivals_sorted_and_within_horizon(self, space):
+        trace = build_generator(space).generate_list(5 * units.DAY)
+        times = [r.arrival_time for r in trace]
+        assert times == sorted(times)
+        assert all(0 < t < 5 * units.DAY for t in times)
+
+    def test_rate_matches(self, space):
+        trace = build_generator(space, rate=2.0).generate_list(30 * units.DAY)
+        expected = 2.0 * 24 * 30
+        assert len(trace) == pytest.approx(expected, rel=0.1)
+
+    def test_ids_sequential(self, space):
+        trace = build_generator(space).generate_list(3 * units.DAY)
+        assert [r.job_id for r in trace] == list(range(len(trace)))
+
+    def test_max_jobs(self, space):
+        trace = build_generator(space).generate_list(30 * units.DAY, max_jobs=10)
+        assert len(trace) == 10
+
+    def test_segments_inside_space(self, space):
+        trace = build_generator(space).generate_list(10 * units.DAY)
+        for request in trace:
+            assert request.start_event >= 0
+            assert request.start_event + request.n_events <= space.total_events
+
+    def test_invalid_rate(self, space):
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(
+                dataspace=space,
+                arrival_rate_per_hour=0.0,
+                job_size=ErlangJobSize(5000, 4),
+                start_distribution=HotspotStartDistribution(space),
+                streams=RandomStreams(0),
+            )
+
+
+class TestTrace:
+    def test_save_load_roundtrip(self, space, tmp_path):
+        trace = build_generator(space).generate_list(5 * units.DAY)
+        path = tmp_path / "trace.jsonl"
+        count = save_trace(path, trace)
+        assert count == len(trace)
+        assert load_trace(path) == trace
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"job_id": 1}\nnot json\n')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_load_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"job_id": 1}\n')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_validate_rejects_unsorted(self):
+        trace = [
+            JobRequest(0, 100.0, 0, 10),
+            JobRequest(1, 50.0, 0, 10),
+        ]
+        with pytest.raises(WorkloadError):
+            validate_trace(trace)
+
+    def test_validate_rejects_duplicate_ids(self):
+        trace = [
+            JobRequest(0, 1.0, 0, 10),
+            JobRequest(0, 2.0, 0, 10),
+        ]
+        with pytest.raises(WorkloadError):
+            validate_trace(trace)
+
+    def test_validate_rejects_empty_jobs(self):
+        with pytest.raises(WorkloadError):
+            validate_trace([JobRequest(0, 1.0, 0, 0)])
+
+    def test_validate_rejects_negative_start(self):
+        with pytest.raises(WorkloadError):
+            validate_trace([JobRequest(0, 1.0, -5, 10)])
+
+    def test_blank_lines_skipped(self, space, tmp_path):
+        trace = build_generator(space).generate_list(1 * units.DAY)
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, trace)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert load_trace(path) == trace
+
+
+class TestScaleTraceLoad:
+    def test_scaling_compresses_time(self, space):
+        trace = build_generator(space).generate_list(10 * units.DAY)
+        scaled = scale_trace_load(trace, 2.0)
+        for original, rescaled in zip(trace, scaled):
+            assert rescaled.arrival_time == pytest.approx(
+                original.arrival_time / 2.0
+            )
+            assert rescaled.start_event == original.start_event
+            assert rescaled.n_events == original.n_events
+
+    def test_invalid_factor(self, space):
+        with pytest.raises(WorkloadError):
+            scale_trace_load([], 0.0)

@@ -20,6 +20,14 @@ from .core import Engine, RandomStreams, units
 from .core.errors import ReproError
 from .cluster import Cluster, CostModel, DataSource, Node
 from .data import DataSpace, Interval, IntervalSet, LRUSegmentCache, TertiaryStorage
+from .obs import (
+    HookBus,
+    TraceEvent,
+    TraceRecorder,
+    TraceSink,
+    render_timeline,
+    write_chrome_trace,
+)
 from .sched import available_policies, create_policy
 from .sim import (
     RunSpec,
@@ -72,6 +80,13 @@ __all__ = [
     # scheduling
     "available_policies",
     "create_policy",
+    # observability
+    "HookBus",
+    "TraceEvent",
+    "TraceSink",
+    "TraceRecorder",
+    "render_timeline",
+    "write_chrome_trace",
     # simulation
     "SimulationConfig",
     "paper_config",

@@ -8,6 +8,7 @@ Subcommands::
     repro run fig3 --scale quick        # regenerate a figure
     repro run-all --scale full -o report.md
     repro simulate --policy out-of-order --load 1.5 --days 20
+    repro trace --policy out-of-order --days 7 -o run   # traced run
     repro calibrate --stripe 5000       # measure the adaptive delay table
 """
 
@@ -17,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .analysis.tables import format_table
 from .analysis.theory import theoretical_limits
 from .core import units
@@ -50,6 +52,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Reproduction of Ponce & Hersch (IPDPS 2004): data-"
         "intensive analysis-job scheduling on PC clusters.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("policies", help="list available scheduling policies")
@@ -82,6 +87,55 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sim_parser.add_argument(
         "--dump-json", default=None, help="write the result summary JSON here"
+    )
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one traced simulation; export Chrome-trace JSON, counter "
+        "CSV and an ASCII timeline",
+    )
+    trace_parser.add_argument(
+        "--policy",
+        required=True,
+        help="policy name (see `repro policies`; underscores are accepted)",
+    )
+    trace_parser.add_argument("--load", type=float, default=1.0, help="jobs/hour")
+    trace_parser.add_argument("--days", type=float, default=7.0)
+    trace_parser.add_argument("--cache-gb", type=float, default=100.0)
+    trace_parser.add_argument("--nodes", type=int, default=10)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--period", type=float, default=None, help="seconds")
+    trace_parser.add_argument("--stripe", type=int, default=None, help="events")
+    trace_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced-scale test configuration instead of the "
+        "paper's (runs in milliseconds)",
+    )
+    trace_parser.add_argument(
+        "--out",
+        "-o",
+        default="trace",
+        help="output prefix: writes PREFIX.trace.json and PREFIX.counters.csv",
+    )
+    trace_parser.add_argument(
+        "--limit-events",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="safety cap on recorded trace events (keeps the first N)",
+    )
+    trace_parser.add_argument(
+        "--sample-seconds",
+        type=float,
+        default=3600.0,
+        help="counter time-series sampling interval (simulated seconds)",
+    )
+    trace_parser.add_argument(
+        "--width", type=int, default=100, help="ASCII timeline width"
+    )
+    trace_parser.add_argument(
+        "--no-ascii", action="store_true", help="skip the ASCII timeline"
     )
 
     exp_parser = sub.add_parser(
@@ -210,6 +264,75 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import TraceRecorder, render_timeline, write_chrome_trace
+    from .sim.config import quick_config
+
+    policy = args.policy.replace("_", "-")
+    if policy not in available_policies():
+        print(
+            f"repro trace: unknown policy {args.policy!r}; available: "
+            + ", ".join(available_policies()),
+            file=sys.stderr,
+        )
+        return 2
+    if args.limit_events < 1:
+        print(
+            f"repro trace: --limit-events must be >= 1, got {args.limit_events}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.width < 8:
+        print(
+            f"repro trace: --width must be >= 8, got {args.width}",
+            file=sys.stderr,
+        )
+        return 2
+    factory = quick_config if args.quick else paper_config
+    config = factory(
+        arrival_rate_per_hour=args.load,
+        duration=args.days * units.DAY,
+        cache_bytes=int(args.cache_gb * units.GB),
+        n_nodes=args.nodes,
+        seed=args.seed,
+    )
+    params = {}
+    if args.period is not None:
+        params["period"] = args.period
+    if args.stripe is not None:
+        params["stripe_events"] = args.stripe
+    recorder = TraceRecorder(
+        capacity=args.limit_events,
+        sample_interval=args.sample_seconds,
+        keep="first",
+    )
+    result = run_simulation(config, policy, sink=recorder, **params)
+    recorder.close()
+
+    trace_path = f"{args.out}.trace.json"
+    counters_path = f"{args.out}.counters.csv"
+    n_entries = write_chrome_trace(trace_path, recorder)
+    n_samples = recorder.write_counters_csv(counters_path)
+
+    if not args.no_ascii:
+        print(render_timeline(recorder, width=args.width))
+        print()
+    print(result.brief())
+    summary = recorder.summary()
+    rows = [[name, f"{value}"] for name, value in summary.items()]
+    print(format_table(["counter", "value"], rows, title="Trace counters"))
+    if recorder.dropped_events:
+        print(
+            f"\nNOTE: event cap reached; {recorder.dropped_events} events "
+            f"beyond the first {args.limit_events} were dropped "
+            "(raise --limit-events to keep more)."
+        )
+    print(f"\nchrome trace ({n_entries} entries) written to {trace_path}")
+    print("  open it at https://ui.perfetto.dev or chrome://tracing")
+    print(f"counter time-series ({n_samples} samples) written to {counters_path}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .experiments.gnuplot import export_sweep
     from .sim.runner import run_sweep
@@ -292,6 +415,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run_all(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "export":
         return _cmd_export(args)
     if args.command == "replicate":

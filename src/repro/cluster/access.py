@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..data.intervals import Interval, IntervalSet
 from ..data.tertiary import TertiaryStorage
+from ..obs.hooks import kinds
 from .costmodel import DataSource
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -92,15 +93,41 @@ class DataAccessPlanner:
         if processed.empty:
             return
         now = node.engine.now
+        obs = node.obs
         if plan.source is DataSource.CACHE:
             node.cache.touch(processed, now)
+            if obs.enabled:
+                obs.emit(
+                    now,
+                    kinds.CACHE_HIT,
+                    "planner",
+                    node=node.node_id,
+                    events=processed.length,
+                )
         elif plan.source is DataSource.TERTIARY:
-            self.tertiary.read(node.node_id, processed)
+            self.tertiary.read(node.node_id, processed, now=now)
+            if obs.enabled and self.use_cache:
+                obs.emit(
+                    now,
+                    kinds.CACHE_MISS,
+                    "planner",
+                    node=node.node_id,
+                    events=processed.length,
+                )
             if self.populate_cache:
                 node.cache.insert(processed, now)
         elif plan.source is DataSource.REMOTE:
             assert plan.owner is not None
             plan.owner.cache.touch(processed, now)
+            if obs.enabled:
+                obs.emit(
+                    now,
+                    kinds.REMOTE_READ,
+                    "planner",
+                    node=node.node_id,
+                    events=processed.length,
+                    owner=plan.owner.node_id,
+                )
             self._on_remote_read(node, plan.owner, processed)
 
     def _on_remote_read(self, node: "Node", owner: "Node", processed: Interval) -> None:

@@ -14,6 +14,7 @@ from ..core.engine import Engine
 from ..core.errors import ConfigurationError
 from ..data.cache import LRUSegmentCache
 from ..data.intervals import Interval
+from ..obs.hooks import NULL_BUS, HookBus
 from .access import DataAccessPlanner
 from .costmodel import CostModel
 from .node import Node
@@ -31,6 +32,7 @@ class Cluster:
         planner: DataAccessPlanner,
         chunk_events: int = 2000,
         speed_factors: Optional[List[float]] = None,
+        obs: HookBus = NULL_BUS,
     ) -> None:
         if n_nodes < 1:
             raise ConfigurationError(f"need at least one node, got {n_nodes}")
@@ -41,15 +43,17 @@ class Cluster:
         self.engine = engine
         self.cost_model = cost_model
         self.planner = planner
+        self.obs = obs
         self.nodes: List[Node] = [
             Node(
                 node_id=i,
                 engine=engine,
-                cache=LRUSegmentCache(cache_capacity_events),
+                cache=LRUSegmentCache(cache_capacity_events, obs=obs, owner_id=i),
                 cost_model=cost_model,
                 planner=planner,
                 chunk_events=chunk_events,
                 speed_factor=1.0 if speed_factors is None else speed_factors[i],
+                obs=obs,
             )
             for i in range(n_nodes)
         ]

@@ -20,6 +20,7 @@ from ..core.engine import Engine
 from ..core.errors import SchedulingError
 from ..core.events import EventPriority, ScheduledEvent
 from ..data.cache import LRUSegmentCache
+from ..obs.hooks import NULL_BUS, HookBus, kinds
 from ..workload.jobs import Subjob, SubjobState
 from .access import ChunkPlan, DataAccessPlanner
 from .costmodel import CostModel, DataSource
@@ -92,6 +93,7 @@ class Node:
         planner: DataAccessPlanner,
         chunk_events: int = 2000,
         speed_factor: float = 1.0,
+        obs: HookBus = NULL_BUS,
     ) -> None:
         if chunk_events < 1:
             raise SchedulingError(f"chunk_events must be >= 1, got {chunk_events}")
@@ -104,6 +106,7 @@ class Node:
         self.planner = planner
         self.chunk_events = chunk_events
         self.speed_factor = speed_factor
+        self.obs = obs
         self.stats = NodeStats()
         self.current: Optional[Subjob] = None
         self._chunk: Optional[_RunningChunk] = None
@@ -138,6 +141,23 @@ class Node:
             )
         if subjob.remaining_events == 0:
             raise SchedulingError(f"subjob {subjob.sid} has no remaining work")
+        if self.obs.enabled:
+            now = self.engine.now
+            kind = (
+                kinds.SUBJOB_RESUME
+                if subjob.state is SubjobState.SUSPENDED
+                else kinds.SUBJOB_START
+            )
+            self.obs.emit(
+                now,
+                kind,
+                "node",
+                node=self.node_id,
+                job=subjob.job.job_id,
+                sid=subjob.sid,
+                events=subjob.remaining_events,
+            )
+            self.obs.emit(now, kinds.NODE_BUSY, "node", node=self.node_id, sid=subjob.sid)
         subjob.state = SubjobState.RUNNING
         subjob.node = self
         self.current = subjob
@@ -171,6 +191,18 @@ class Node:
             return None
         subjob.state = SubjobState.SUSPENDED
         subjob.node = None
+        if self.obs.enabled:
+            now = self.engine.now
+            self.obs.emit(
+                now,
+                kinds.SUBJOB_SUSPEND,
+                "node",
+                node=self.node_id,
+                job=subjob.job.job_id,
+                sid=subjob.sid,
+                events=subjob.remaining_events,
+            )
+            self.obs.emit(now, kinds.NODE_IDLE, "node", node=self.node_id)
         return subjob
 
     # -- internals ----------------------------------------------------------------
@@ -229,11 +261,34 @@ class Node:
         self.stats.busy_seconds += events_done * chunk.per_event_time + setup_spent
         self.stats.events_processed += events_done
         self.stats.events_by_source[chunk.plan.source] += events_done
+        if self.obs.enabled and events_done > 0:
+            self.obs.emit(
+                self.engine.now,
+                kinds.CHUNK_DONE,
+                "node",
+                node=self.node_id,
+                job=subjob.job.job_id,
+                sid=subjob.sid,
+                src=chunk.plan.source.value,
+                events=events_done,
+                duration=events_done * chunk.per_event_time + setup_spent,
+            )
 
     def _finish_subjob(self, subjob: Subjob, deferred: bool) -> None:
         subjob.state = SubjobState.DONE
         subjob.node = None
         self.stats.subjobs_completed += 1
+        if self.obs.enabled:
+            now = self.engine.now
+            self.obs.emit(
+                now,
+                kinds.SUBJOB_END,
+                "node",
+                node=self.node_id,
+                job=subjob.job.job_id,
+                sid=subjob.sid,
+            )
+            self.obs.emit(now, kinds.NODE_IDLE, "node", node=self.node_id)
         if self.on_subjob_complete is None:
             return
         if deferred:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from ..obs.hooks import NULL_BUS, HookBus, kinds
 from .errors import EngineError
 from .events import EngineStats, EventPriority, ScheduledEvent
 
@@ -38,13 +39,16 @@ class Engine:
     2.0
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, obs: HookBus = NULL_BUS) -> None:
         self._now = float(start_time)
         self._heap: List[ScheduledEvent] = []
         self._seq = 0
         self._running = False
         self._stopped = False
         self.stats = EngineStats()
+        #: Observability bus; per-dispatch emission is additionally gated
+        #: by ``obs.engine_dispatch`` (high volume, off by default).
+        self.obs = obs
 
     # -- clock ---------------------------------------------------------------
 
@@ -135,6 +139,8 @@ class Engine:
         event = heapq.heappop(self._heap)
         self._now = event.time
         self.stats.dispatched += 1
+        if self.obs.engine_dispatch:
+            self._emit_dispatch(event)
         event.callback(*event.args)
         return True
 
@@ -150,6 +156,7 @@ class Engine:
         self._running = True
         self._stopped = False
         heap = self._heap
+        obs = self.obs
         try:
             while heap and not self._stopped:
                 event = heap[0]
@@ -161,6 +168,8 @@ class Engine:
                 heapq.heappop(heap)
                 self._now = event.time
                 self.stats.dispatched += 1
+                if obs.engine_dispatch:
+                    self._emit_dispatch(event)
                 event.callback(*event.args)
         finally:
             self._running = False
@@ -172,6 +181,16 @@ class Engine:
         self._stopped = True
 
     # -- internals --------------------------------------------------------------
+
+    def _emit_dispatch(self, event: ScheduledEvent) -> None:
+        self.obs.emit(
+            event.time,
+            kinds.ENGINE_DISPATCH,
+            "engine",
+            label=event.label or getattr(event.callback, "__name__", "?"),
+            priority=event.priority,
+            seq=event.seq,
+        )
 
     def _drop_cancelled_head(self) -> None:
         heap = self._heap

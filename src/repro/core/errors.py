@@ -38,6 +38,11 @@ class WorkloadError(ReproError):
     """A workload description or trace is malformed."""
 
 
+class ObsError(ReproError):
+    """The observability layer was misused (e.g. attaching a sink to the
+    shared null bus, or exporting a trace with no recorded events)."""
+
+
 class OverloadedError(ReproError):
     """Raised by strict analyses when asked for steady-state statistics of
     a simulation that left steady state (queues growing without bound)."""

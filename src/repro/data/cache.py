@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.errors import CacheError
+from ..obs.hooks import NULL_BUS, HookBus, kinds
 from .intervals import Interval, IntervalSet
 
 
@@ -64,10 +65,17 @@ class LRUSegmentCache:
     [(20, 60), (200, 260)]
     """
 
-    def __init__(self, capacity_events: int) -> None:
+    def __init__(
+        self,
+        capacity_events: int,
+        obs: HookBus = NULL_BUS,
+        owner_id: int = -1,
+    ) -> None:
         if capacity_events < 0:
             raise CacheError(f"capacity must be >= 0, got {capacity_events}")
         self.capacity_events = int(capacity_events)
+        self.obs = obs
+        self.owner_id = owner_id
         self._extents: Dict[int, _Extent] = {}
         self._starts: List[int] = []  # sorted extent start points
         self._ids_by_start: Dict[int, int] = {}  # start -> extent id
@@ -190,7 +198,18 @@ class LRUSegmentCache:
         self.stats.inserted_events += interval.length
         self._carve(interval)
         self._add_extent(interval, now)
+        evicted_before = self.stats.evicted_events
         self._evict_to_fit(protect=interval)
+        if self.obs.enabled:
+            evicted = self.stats.evicted_events - evicted_before
+            if evicted:
+                self.obs.emit(
+                    now,
+                    kinds.CACHE_EVICT,
+                    "cache",
+                    node=self.owner_id,
+                    events=evicted,
+                )
 
     def touch(self, interval: Interval, now: float) -> None:
         """Refresh the LRU timestamp of the cached parts of ``interval``."""

@@ -12,8 +12,9 @@ during a given period").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from ..obs.hooks import NULL_BUS, HookBus, kinds
 from .dataspace import DataSpace
 from .intervals import Interval, IntervalSet
 
@@ -40,14 +41,17 @@ class TertiaryStorage:
     most once, the optimum of §5).
     """
 
-    def __init__(self, dataspace: DataSpace) -> None:
+    def __init__(self, dataspace: DataSpace, obs: HookBus = NULL_BUS) -> None:
         self.dataspace = dataspace
         self.stats = TertiaryStats()
+        self.obs = obs
         self._distinct = IntervalSet()
 
-    def read(self, node_id: int, interval: Interval) -> None:
+    def read(
+        self, node_id: int, interval: Interval, now: Optional[float] = None
+    ) -> None:
         """Record that ``node_id`` streamed ``interval`` from tertiary
-        storage."""
+        storage (``now`` timestamps the trace event when tracing)."""
         if interval.empty:
             return
         self.dataspace.validate_segment(interval)
@@ -56,6 +60,16 @@ class TertiaryStorage:
         per_node = self.stats.events_read_per_node
         per_node[node_id] = per_node.get(node_id, 0) + interval.length
         self._distinct.add(interval)
+        if self.obs.enabled and now is not None:
+            self.obs.emit(
+                now,
+                kinds.TAPE_READ,
+                "tertiary",
+                node=node_id,
+                events=interval.length,
+                start=interval.start,
+                end=interval.end,
+            )
 
     @property
     def distinct_events_read(self) -> int:

@@ -1,0 +1,62 @@
+"""repro.obs — observability: structured tracing, counters, timeline export.
+
+The subsystem has four layers:
+
+* :mod:`repro.obs.hooks` — the :class:`HookBus` every instrumented
+  component emits :class:`TraceEvent` s into (near-zero cost when no sink
+  is attached) and the :class:`TraceSink` protocol;
+* :mod:`repro.obs.recorder` — :class:`TraceRecorder`, the in-memory
+  ring-buffer sink with counters, busy spans and sampled time-series;
+* :mod:`repro.obs.chrome_trace` — Chrome/Perfetto ``trace_event`` JSON
+  export (open in https://ui.perfetto.dev);
+* :mod:`repro.obs.timeline` — dependency-free ASCII Gantt rendering.
+
+Typical use::
+
+    from repro import quick_config, run_simulation
+    from repro.obs import TraceRecorder, render_timeline, write_chrome_trace
+
+    recorder = TraceRecorder()
+    result = run_simulation(quick_config(), "out-of-order", sink=recorder)
+    print(render_timeline(recorder, width=100))
+    write_chrome_trace("run.trace.json", recorder)
+"""
+
+from .chrome_trace import (
+    REQUIRED_KEYS,
+    chrome_trace_events,
+    to_chrome_trace,
+    validate_trace_events,
+    write_chrome_trace,
+)
+from .hooks import (
+    NULL_BUS,
+    HookBus,
+    NullSink,
+    TraceEvent,
+    TraceSink,
+    kinds,
+    make_bus,
+)
+from .recorder import ChunkSlice, CounterSample, Span, TraceRecorder
+from .timeline import render_timeline
+
+__all__ = [
+    "HookBus",
+    "NULL_BUS",
+    "NullSink",
+    "TraceEvent",
+    "TraceSink",
+    "kinds",
+    "make_bus",
+    "TraceRecorder",
+    "Span",
+    "ChunkSlice",
+    "CounterSample",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_trace_events",
+    "REQUIRED_KEYS",
+    "render_timeline",
+]

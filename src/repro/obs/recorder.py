@@ -1,0 +1,331 @@
+"""In-memory trace recorder: ring buffer, counters, spans and time-series.
+
+:class:`TraceRecorder` is the standard :class:`~repro.obs.hooks.TraceSink`.
+It keeps
+
+* a bounded buffer of raw :class:`~repro.obs.hooks.TraceEvent` s (ring by
+  default — the newest ``capacity`` events survive; ``keep="first"``
+  retains the head of the run instead, which is what the CLI's
+  ``--limit-events`` safety cap uses);
+* running **counters** (cache hits/misses, tape traffic, steals,
+  preemptions, jobs in system, ...);
+* **counter time-series** sampled on event boundaries whenever simulated
+  time has advanced by ``sample_interval`` since the last sample;
+* per-node **busy spans** (one per subjob residency on a node) and
+  chunk-level **slices** tagged with their data source — the inputs of the
+  Chrome-trace and ASCII-timeline exporters.
+
+Everything is derived purely from the event stream, so the recorder's
+aggregates can be cross-checked against :class:`SimulationResult` (see
+``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Set
+
+from .hooks import TraceEvent, TraceSink, kinds
+
+
+@dataclass(slots=True)
+class Span:
+    """One subjob residency on one node (start/resume → suspend/end)."""
+
+    node: int
+    job: int
+    sid: str
+    start: float
+    end: float
+
+
+@dataclass(slots=True)
+class ChunkSlice:
+    """One processed chunk: where its data came from and when it ran."""
+
+    node: int
+    source: str  # DataSource value: "cache" | "tertiary" | "remote"
+    start: float
+    end: float
+    events: int
+
+
+@dataclass(slots=True)
+class CounterSample:
+    """One row of the counter time-series."""
+
+    time: float
+    jobs_in_system: int
+    busy_nodes: int
+    cache_hit_events: int
+    cache_miss_events: int
+    tape_events: int
+    tape_requests: int
+    evicted_events: int
+    steals: int
+    hit_ratio: float
+
+    FIELDS = (
+        "time",
+        "jobs_in_system",
+        "busy_nodes",
+        "cache_hit_events",
+        "cache_miss_events",
+        "tape_events",
+        "tape_requests",
+        "evicted_events",
+        "steals",
+        "hit_ratio",
+    )
+
+    def row(self) -> List[Any]:
+        return [getattr(self, name) for name in CounterSample.FIELDS]
+
+
+class TraceRecorder(TraceSink):
+    """Accumulates a traced run in memory.
+
+    ``capacity`` bounds the raw-event buffer (counters, spans and samples
+    keep accumulating past it).  ``keep`` selects which end of the run the
+    buffer retains once full: ``"last"`` (ring buffer, default) or
+    ``"first"`` (head of the run, then drop).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 200_000,
+        sample_interval: float = 3600.0,
+        keep: str = "last",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if sample_interval < 0:
+            raise ValueError(f"sample_interval must be >= 0, got {sample_interval}")
+        if keep not in ("first", "last"):
+            raise ValueError(f"keep must be 'first' or 'last', got {keep!r}")
+        self.capacity = capacity
+        self.sample_interval = sample_interval
+        self.keep = keep
+        self.events: Deque[TraceEvent] = deque(
+            maxlen=capacity if keep == "last" else None
+        )
+        self.total_emitted = 0
+
+        # -- counters ---------------------------------------------------------
+        self.jobs_arrived = 0
+        self.jobs_completed = 0
+        self.jobs_scheduled = 0
+        self.jobs_promoted = 0
+        self.subjobs_started = 0
+        self.subjobs_completed = 0
+        self.subjob_splits = 0
+        self.steals = 0
+        self.preemptions = 0
+        self.cache_hit_events = 0
+        self.cache_miss_events = 0
+        self.evicted_events = 0
+        self.tape_events = 0
+        self.tape_requests = 0
+        self.remote_events = 0
+        self.periods = 0
+        self.meta_subjobs = 0
+        self.engine_dispatches = 0
+        self._busy: Set[int] = set()
+        self.last_time = 0.0
+
+        # -- derived structures -------------------------------------------------
+        self.spans: List[Span] = []
+        self.chunk_slices: List[ChunkSlice] = []
+        self.samples: List[CounterSample] = []
+        self._open_spans: Dict[int, Span] = {}
+        self._last_sample = -math.inf
+        self._closed = False
+
+    # -- sink protocol -----------------------------------------------------------
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.total_emitted += 1
+        if self.keep == "last" or len(self.events) < self.capacity:
+            self.events.append(event)
+        self.last_time = event.time
+        self._count(event)
+        if event.time - self._last_sample >= self.sample_interval:
+            self._sample(event.time)
+
+    def close(self) -> None:
+        """Close any still-open spans and take a final sample."""
+        if self._closed:
+            return
+        self._closed = True
+        for span in self._open_spans.values():
+            span.end = self.last_time
+            self.spans.append(span)
+        self._open_spans.clear()
+        self._sample(self.last_time)
+
+    # -- counting -----------------------------------------------------------------
+
+    def _count(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == kinds.CHUNK_DONE:
+            duration = event.data.get("duration", 0.0)
+            self.chunk_slices.append(
+                ChunkSlice(
+                    node=event.node,
+                    source=event.data.get("src", "?"),
+                    start=event.time - duration,
+                    end=event.time,
+                    events=event.data.get("events", 0),
+                )
+            )
+        elif kind == kinds.CACHE_HIT:
+            self.cache_hit_events += event.data.get("events", 0)
+        elif kind == kinds.CACHE_MISS:
+            self.cache_miss_events += event.data.get("events", 0)
+        elif kind == kinds.CACHE_EVICT:
+            self.evicted_events += event.data.get("events", 0)
+        elif kind == kinds.TAPE_READ:
+            self.tape_events += event.data.get("events", 0)
+            self.tape_requests += 1
+        elif kind == kinds.REMOTE_READ:
+            self.remote_events += event.data.get("events", 0)
+        elif kind in (kinds.SUBJOB_START, kinds.SUBJOB_RESUME):
+            if kind == kinds.SUBJOB_START:
+                self.subjobs_started += 1
+            self._open_span(event)
+        elif kind in (kinds.SUBJOB_SUSPEND, kinds.SUBJOB_END):
+            if kind == kinds.SUBJOB_END:
+                self.subjobs_completed += 1
+            self._close_span(event)
+        elif kind == kinds.NODE_BUSY:
+            self._busy.add(event.node)
+        elif kind == kinds.NODE_IDLE:
+            self._busy.discard(event.node)
+        elif kind == kinds.JOB_ARRIVAL:
+            self.jobs_arrived += 1
+        elif kind == kinds.JOB_END:
+            self.jobs_completed += 1
+        elif kind == kinds.JOB_SCHEDULE:
+            self.jobs_scheduled += 1
+        elif kind == kinds.JOB_PROMOTE:
+            self.jobs_promoted += 1
+        elif kind == kinds.SUBJOB_SPLIT:
+            self.subjob_splits += 1
+        elif kind == kinds.SUBJOB_STEAL:
+            self.steals += 1
+        elif kind == kinds.SUBJOB_PREEMPT:
+            self.preemptions += 1
+        elif kind == kinds.SCHED_PERIOD:
+            self.periods += 1
+        elif kind == kinds.SCHED_META:
+            self.meta_subjobs += 1
+        elif kind == kinds.ENGINE_DISPATCH:
+            self.engine_dispatches += 1
+        elif kind == kinds.SIM_END:
+            self.close()
+
+    def _open_span(self, event: TraceEvent) -> None:
+        # A start on a node whose previous span never closed (should not
+        # happen) is closed defensively rather than leaked.
+        stale = self._open_spans.pop(event.node, None)
+        if stale is not None:
+            stale.end = event.time
+            self.spans.append(stale)
+        self._open_spans[event.node] = Span(
+            node=event.node, job=event.job, sid=event.sid, start=event.time, end=event.time
+        )
+
+    def _close_span(self, event: TraceEvent) -> None:
+        span = self._open_spans.pop(event.node, None)
+        if span is not None:
+            span.end = event.time
+            self.spans.append(span)
+
+    # -- sampling --------------------------------------------------------------------
+
+    def _sample(self, time: float) -> None:
+        self._last_sample = time
+        self.samples.append(
+            CounterSample(
+                time=time,
+                jobs_in_system=self.jobs_arrived - self.jobs_completed,
+                busy_nodes=len(self._busy),
+                cache_hit_events=self.cache_hit_events,
+                cache_miss_events=self.cache_miss_events,
+                tape_events=self.tape_events,
+                tape_requests=self.tape_requests,
+                evicted_events=self.evicted_events,
+                steals=self.steals,
+                hit_ratio=self.hit_ratio,
+            )
+        )
+
+    # -- queries ------------------------------------------------------------------------
+
+    @property
+    def dropped_events(self) -> int:
+        """Events emitted but no longer in the raw buffer."""
+        return self.total_emitted - len(self.events)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Cache hits / (hits + misses), NaN before any data access."""
+        total = self.cache_hit_events + self.cache_miss_events
+        return math.nan if total == 0 else self.cache_hit_events / total
+
+    def node_ids(self) -> List[int]:
+        """Every node id that appears in spans or chunk slices, sorted."""
+        ids = {span.node for span in self.spans}
+        ids.update(s.node for s in self.chunk_slices)
+        ids.update(s.node for s in self._open_spans.values())
+        ids.discard(-1)
+        return sorted(ids)
+
+    def events_of_kind(self, *wanted: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind in wanted]
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate counters as a plain dict (for reports and tests)."""
+        return {
+            "events_recorded": len(self.events),
+            "events_emitted": self.total_emitted,
+            "events_dropped": self.dropped_events,
+            "jobs_arrived": self.jobs_arrived,
+            "jobs_completed": self.jobs_completed,
+            "jobs_scheduled": self.jobs_scheduled,
+            "jobs_promoted": self.jobs_promoted,
+            "subjobs_started": self.subjobs_started,
+            "subjobs_completed": self.subjobs_completed,
+            "subjob_splits": self.subjob_splits,
+            "steals": self.steals,
+            "preemptions": self.preemptions,
+            "cache_hit_events": self.cache_hit_events,
+            "cache_miss_events": self.cache_miss_events,
+            "evicted_events": self.evicted_events,
+            "tape_events": self.tape_events,
+            "tape_requests": self.tape_requests,
+            "remote_events": self.remote_events,
+            "periods": self.periods,
+            "meta_subjobs": self.meta_subjobs,
+            "hit_ratio": self.hit_ratio,
+        }
+
+    # -- export ---------------------------------------------------------------------------
+
+    def write_counters_csv(self, path) -> int:
+        """Write the counter time-series; returns the row count."""
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(CounterSample.FIELDS)
+            for sample in self.samples:
+                writer.writerow(sample.row())
+        return len(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceRecorder({len(self.events)}/{self.total_emitted} events, "
+            f"{len(self.spans)} spans, {len(self.samples)} samples)"
+        )

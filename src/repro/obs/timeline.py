@@ -1,0 +1,111 @@
+"""Dependency-free ASCII Gantt rendering of a recorded run.
+
+One row per node, one character per time bucket, coloured (in the ASCII
+sense) by where the node's data came from::
+
+    t=0.0h                                                        t=240.0h
+    node 0 |####TTTT####..####TT####=...####|  83% busy
+    node 1 |TTTT####....####RR##............|  61% busy
+            '#' cache   'T' tertiary   'R' remote   '=' busy   '.' idle
+
+Buckets take the *dominant* source of the chunks that ran in them; spans
+without chunk detail (e.g. a subjob that emitted no chunk in the bucket)
+fall back to '='.  Intended for terminals, CI logs and doctests — no
+external dependencies, pure string assembly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .recorder import TraceRecorder
+
+#: Bucket glyphs, in increasing precedence order per busy second.
+GLYPHS = {"idle": ".", "busy": "=", "cache": "#", "tertiary": "T", "remote": "R"}
+
+LEGEND = "'#' cache   'T' tertiary   'R' remote   '=' busy   '.' idle"
+
+
+def _fmt_hours(seconds: float) -> str:
+    return f"t={seconds / 3600.0:.1f}h"
+
+
+def render_timeline(
+    recorder: TraceRecorder,
+    width: int = 80,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    legend: bool = True,
+) -> str:
+    """Render the run as an ASCII Gantt chart.
+
+    ``start``/``end`` crop the window (defaults: the recorded extent).
+    Returns a printable multi-line string; an empty recorder renders a
+    placeholder rather than raising.
+    """
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    recorder.close()
+    nodes = recorder.node_ids()
+    if not nodes:
+        return "(no node activity recorded)"
+    t0 = 0.0 if start is None else start
+    t1 = recorder.last_time if end is None else end
+    if t1 <= t0:
+        return "(empty time window)"
+    bucket = (t1 - t0) / width
+
+    # seconds of each source per (node, bucket)
+    per_node: Dict[int, List[Dict[str, float]]] = {
+        node: [dict() for _ in range(width)] for node in nodes
+    }
+
+    def deposit(node: int, s: float, e: float, source: str) -> None:
+        s, e = max(s, t0), min(e, t1)
+        if e <= s or node not in per_node:
+            return
+        first = int((s - t0) / bucket)
+        last = min(int((e - t0) / bucket), width - 1)
+        for index in range(first, last + 1):
+            lo = t0 + index * bucket
+            overlap = min(e, lo + bucket) - max(s, lo)
+            if overlap > 0:
+                cell = per_node[node][index]
+                cell[source] = cell.get(source, 0.0) + overlap
+
+    for span in recorder.spans:
+        deposit(span.node, span.start, span.end, "busy")
+    for chunk in recorder.chunk_slices:
+        deposit(chunk.node, chunk.start, chunk.end, chunk.source)
+
+    label_width = max(len(f"node {node}") for node in nodes)
+    lines = [" " * (label_width + 2) + _ruler(width, t0, t1)]
+    for node in nodes:
+        row = []
+        busy_seconds = 0.0
+        for cell in per_node[node]:
+            busy = cell.get("busy", 0.0)
+            busy_seconds += busy
+            # Chunk sources are more specific than the bare busy span;
+            # pick the dominant one when any chunk ran in this bucket.
+            sourced = {k: v for k, v in cell.items() if k != "busy"}
+            if sourced:
+                dominant = max(sourced, key=sourced.get)
+                row.append(GLYPHS.get(dominant, "="))
+            elif busy > 0.05 * bucket:
+                row.append(GLYPHS["busy"])
+            else:
+                row.append(GLYPHS["idle"])
+        utilization = busy_seconds / (t1 - t0)
+        lines.append(
+            f"{f'node {node}':>{label_width}} |{''.join(row)}| {utilization:4.0%} busy"
+        )
+    if legend:
+        lines.append(" " * (label_width + 2) + LEGEND)
+    return "\n".join(lines)
+
+
+def _ruler(width: int, t0: float, t1: float) -> str:
+    left, right = _fmt_hours(t0), _fmt_hours(t1)
+    gap = width + 2 - len(left) - len(right)
+    return left + " " * max(1, gap) + right

@@ -28,6 +28,7 @@ from ..core.engine import Engine
 from ..core.errors import ConfigurationError, SchedulingError
 from ..data.intervals import Interval
 from ..data.tertiary import TertiaryStorage
+from ..obs.hooks import NULL_BUS, HookBus, kinds
 from ..workload.jobs import Job, Subjob
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,11 +46,13 @@ class SchedulerContext:
         cluster: Cluster,
         config: "SimulationConfig",
         tertiary: TertiaryStorage,
+        obs: HookBus = NULL_BUS,
     ) -> None:
         self.engine = engine
         self.cluster = cluster
         self.config = config
         self.tertiary = tertiary
+        self.obs = obs
 
     @property
     def now(self) -> float:
@@ -130,6 +133,22 @@ class SchedulerPolicy(ABC):
     def min_subjob_events(self) -> int:
         return self.config.min_subjob_events
 
+    @property
+    def obs(self) -> HookBus:
+        """The simulation's hook bus (disabled singleton before bind)."""
+        return self.ctx.obs if self.ctx is not None else NULL_BUS
+
+    def emit(self, kind: str, **fields) -> None:
+        """Emit one trace event stamped with the current simulation time.
+
+        Callers on hot paths should guard with ``if self.obs.enabled:``
+        to skip field construction when tracing is off.
+        """
+        ctx = self.ctx
+        if ctx is None or not ctx.obs.enabled:
+            return
+        ctx.obs.emit(ctx.engine.now, kind, "sched", **fields)
+
     def start_on(self, node: Node, subjob: Subjob) -> None:
         """Start ``subjob`` on ``node`` (thin, assert-friendly wrapper)."""
         if node.busy:
@@ -157,6 +176,15 @@ class SchedulerPolicy(ABC):
             node.start(suspended)
             return None
         right = suspended.split_remaining_at(point)
+        if self.obs.enabled:
+            self.emit(
+                kinds.SUBJOB_SPLIT,
+                node=node.node_id,
+                job=subjob.job.job_id,
+                sid=subjob.sid,
+                right_sid=right.sid,
+                point=point,
+            )
         node.start(suspended)
         return right
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.events import EventPriority
 from ..cluster.node import Node
 from ..data.intervals import Interval, partition_by
+from ..obs.hooks import kinds
 from ..workload.jobs import Job, MetaSubjob, Subjob
 from .base import (
     SchedulerContext,
@@ -155,6 +156,8 @@ class DelayedPolicy(SchedulerPolicy):
         now = self.engine.now
         for job in batch:
             job.schedule_time = now
+        if self.obs.enabled:
+            self.emit(kinds.SCHED_PERIOD, batch=len(batch), period=self.period)
         if batch:
             self._schedule_batch(batch)
         self.period = self._next_period_delay()
@@ -208,6 +211,13 @@ class DelayedPolicy(SchedulerPolicy):
                     segments.extend(parts)
                     tags.extend([None] * len(parts))
             subjobs = job.make_subjobs(segments)
+            if self.obs.enabled:
+                self.emit(
+                    kinds.JOB_SCHEDULE,
+                    job=job.job_id,
+                    subjobs=len(subjobs),
+                    delayed=self.engine.now - job.arrival_time,
+                )
             # make_subjobs sorts segments; rebuild the tag mapping by
             # segment identity.
             tag_by_segment = {seg: tag for seg, tag in zip(segments, tags)}
@@ -225,6 +235,14 @@ class DelayedPolicy(SchedulerPolicy):
                     meta.add(subjob)
 
         self.stats_meta_subjobs += len(new_metas)
+        if self.obs.enabled:
+            for meta in new_metas.values():
+                self.emit(
+                    kinds.SCHED_META,
+                    stripe_start=meta.stripe.start,
+                    stripe_end=meta.stripe.end,
+                    members=len(meta.members),
+                )
         self.meta_queue.extend(new_metas.values())
         # Fairness among meta-subjobs: earliest member arrival first
         # (stable, so leftovers from previous periods keep their rank).

@@ -27,6 +27,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..core import units
 from ..core.events import EventPriority
 from ..cluster.node import Node
+from ..obs.hooks import kinds
 from ..workload.jobs import Job, Subjob
 from .base import (
     SchedulerPolicy,
@@ -84,6 +85,14 @@ class OutOfOrderPolicy(SchedulerPolicy):
             elif self._preemptible(owner):
                 displaced = owner.preempt()
                 self.stats_preempted_for_cached += 1
+                if self.obs.enabled:
+                    self.emit(
+                        kinds.SUBJOB_PREEMPT,
+                        node=owner.node_id,
+                        job=subjob.job.job_id,
+                        sid=subjob.sid,
+                        displaced=displaced.sid if displaced is not None else "",
+                    )
                 if displaced is not None:
                     self._put_back_front(displaced)
                 if owner.idle:
@@ -221,6 +230,14 @@ class OutOfOrderPolicy(SchedulerPolicy):
         # The data is cached on the donor, so that is where the subjob
         # belongs if it ever gets displaced.
         subjob.origin = ("node", donor.node_id)
+        if self.obs.enabled:
+            self.emit(
+                kinds.SUBJOB_STEAL,
+                node=donor.node_id,
+                job=subjob.job.job_id,
+                sid=subjob.sid,
+                events=subjob.remaining_events,
+            )
 
     # -- preemption plumbing -----------------------------------------------------------------
 
@@ -268,6 +285,12 @@ class OutOfOrderPolicy(SchedulerPolicy):
         if any(s.job is job for s in self.nocache_queue):
             self.priority_jobs.append(job)
             self.stats_fairness_promotions += 1
+            if self.obs.enabled:
+                self.emit(
+                    kinds.JOB_PROMOTE,
+                    job=job.job_id,
+                    waited=self.engine.now - job.arrival_time,
+                )
             for node in self.cluster.idle_nodes():
                 self._feed_node(node)
 

@@ -2,7 +2,9 @@
 
 from .config import SimulationConfig, paper_config, quick_config
 from .export import (
+    SCHEMA_VERSION,
     load_records_csv,
+    load_result_json,
     result_summary_dict,
     write_backlog_csv,
     write_records_csv,
@@ -45,5 +47,7 @@ __all__ = [
     "load_records_csv",
     "write_backlog_csv",
     "write_result_json",
+    "load_result_json",
     "result_summary_dict",
+    "SCHEMA_VERSION",
 ]

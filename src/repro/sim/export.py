@@ -3,7 +3,9 @@
 Writes per-job records and backlog probes to CSV (spreadsheets, pandas,
 gnuplot — the paper's plots were gnuplot) and full result summaries to
 JSON.  Everything round-trips: ``load_records_csv`` reads back what
-``write_records_csv`` wrote.
+``write_records_csv`` wrote and ``load_result_json`` reads back what
+``write_result_json`` wrote.  Summary JSON is stamped with
+``schema_version`` so downstream tooling can detect incompatible files.
 """
 
 from __future__ import annotations
@@ -17,6 +19,21 @@ from .metrics import BacklogSample, JobRecord
 from .simulator import SimulationResult
 
 PathLike = Union[str, Path]
+
+#: Summary-JSON schema version.  Bump when keys are added, removed or
+#: change meaning.  Version 2 added ``schema_version`` itself plus the
+#: guarantee that ``policy_stats`` and ``events_by_source`` are present.
+SCHEMA_VERSION = 2
+
+#: Keys every version-2 summary must carry.
+_REQUIRED_SUMMARY_KEYS = (
+    "schema_version",
+    "policy",
+    "policy_stats",
+    "events_by_source",
+    "measured",
+    "config",
+)
 
 _RECORD_FIELDS = (
     "job_id",
@@ -76,6 +93,7 @@ def write_backlog_csv(path: PathLike, samples: Sequence[BacklogSample]) -> int:
 def result_summary_dict(result: SimulationResult) -> dict:
     """A JSON-serialisable summary of one simulation result."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "policy": result.policy_name,
         "policy_params": {
             key: value for key, value in result.policy_params.items()
@@ -114,3 +132,30 @@ def write_result_json(path: PathLike, result: SimulationResult) -> None:
     """Write the summary JSON (records go to CSV, not here)."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(result_summary_dict(result), handle, indent=2, default=float)
+
+
+def load_result_json(path: PathLike) -> dict:
+    """Read a summary JSON back, validating the schema.
+
+    Raises :class:`ValueError` on files from a newer schema or with
+    required keys missing; files written before versioning (no
+    ``schema_version`` key) are upgraded in place with empty
+    ``policy_stats``/``events_by_source`` defaults so old sweeps stay
+    readable.
+    """
+    with open(path, encoding="utf-8") as handle:
+        summary = json.load(handle)
+    if not isinstance(summary, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    version = summary.setdefault("schema_version", 1)
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version} is newer than the supported "
+            f"{SCHEMA_VERSION}"
+        )
+    summary.setdefault("policy_stats", {})
+    summary.setdefault("events_by_source", {})
+    missing = [key for key in _REQUIRED_SUMMARY_KEYS if key not in summary]
+    if missing:
+        raise ValueError(f"{path}: summary is missing keys {missing}")
+    return summary

@@ -22,6 +22,7 @@ from ..cluster.cluster import Cluster
 from ..cluster.costmodel import DataSource
 from ..cluster.node import Node
 from ..data.tertiary import TertiaryStorage
+from ..obs.hooks import HookBus, TraceSink, kinds
 from ..sched.base import SchedulerContext, SchedulerPolicy, create_policy
 from ..workload.generator import WorkloadGenerator
 from ..workload.jobs import Job, JobRequest, Subjob
@@ -100,13 +101,20 @@ class Simulation:
         config: SimulationConfig,
         policy: SchedulerPolicy,
         trace: Optional[Sequence[JobRequest]] = None,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         self.config = config
         self.policy = policy
-        self.engine = Engine()
+        #: Per-run observability bus; attach sinks before :meth:`run` (the
+        #: ``sink`` argument is a convenience for the common single-sink
+        #: case).  With no sink attached every emission site short-circuits.
+        self.obs = HookBus()
+        if sink is not None:
+            self.obs.attach(sink)
+        self.engine = Engine(obs=self.obs)
         self.streams = RandomStreams(config.seed)
         dataspace = config.dataspace()
-        self.tertiary = TertiaryStorage(dataspace)
+        self.tertiary = TertiaryStorage(dataspace, obs=self.obs)
         planner = policy.make_planner(self.tertiary)
         self.cluster = Cluster(
             engine=self.engine,
@@ -120,6 +128,7 @@ class Simulation:
                 if config.node_speed_factors is not None
                 else None
             ),
+            obs=self.obs,
         )
         self.metrics = MetricsCollector(config.cost_model().uncached_event_time)
         self.jobs: Dict[int, Job] = {}
@@ -133,6 +142,7 @@ class Simulation:
                 cluster=self.cluster,
                 config=config,
                 tertiary=self.tertiary,
+                obs=self.obs,
             )
         )
 
@@ -154,12 +164,31 @@ class Simulation:
         job = Job(request)
         self.jobs[job.job_id] = job
         self.metrics.on_arrival(job)
+        if self.obs.enabled:
+            self.obs.emit(
+                self.engine.now,
+                kinds.JOB_ARRIVAL,
+                "sim",
+                job=job.job_id,
+                events=job.n_events,
+                start=job.segment.start,
+            )
         self.policy.on_job_arrival(job)
 
     def _on_subjob_complete(self, node: Node, subjob: Subjob) -> None:
         job = subjob.job
         if job.maybe_complete(self.engine.now):
             self.metrics.on_completion(job)
+            if self.obs.enabled:
+                self.obs.emit(
+                    self.engine.now,
+                    kinds.JOB_END,
+                    "sim",
+                    node=node.node_id,
+                    job=job.job_id,
+                    waited=job.waiting_time,
+                    processed=job.processing_time,
+                )
             self.policy.on_job_end(node, job, subjob)
         else:
             self.policy.on_subjob_end(node, subjob)
@@ -198,7 +227,18 @@ class Simulation:
     def run(self) -> SimulationResult:
         started = time.perf_counter()
         self.prime()
+        if self.obs.enabled:
+            self.obs.emit(
+                0.0,
+                kinds.SIM_START,
+                "sim",
+                policy=self.policy.name,
+                nodes=self.config.n_nodes,
+                duration=self.config.duration,
+            )
         self.engine.run(until=self.config.duration)
+        if self.obs.enabled:
+            self.obs.emit(self.engine.now, kinds.SIM_END, "sim")
         wall = time.perf_counter() - started
         return self._build_result(wall)
 
@@ -244,9 +284,13 @@ def run_simulation(
     config: SimulationConfig,
     policy: str,
     trace: Optional[Sequence[JobRequest]] = None,
+    sink: Optional[TraceSink] = None,
     **policy_params,
 ) -> SimulationResult:
     """Build and run one simulation; the library's main entry point.
+
+    Pass ``sink`` (e.g. a :class:`repro.obs.TraceRecorder`) to observe the
+    run as structured trace events.
 
     >>> from repro.sim.config import quick_config
     >>> result = run_simulation(quick_config(duration=86400.0), "farm")
@@ -254,4 +298,4 @@ def run_simulation(
     'farm'
     """
     policy_instance = create_policy(policy, **policy_params)
-    return Simulation(config, policy_instance, trace=trace).run()
+    return Simulation(config, policy_instance, trace=trace, sink=sink).run()

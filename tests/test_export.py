@@ -7,7 +7,9 @@ import pytest
 from repro.core import units
 from repro.sim.config import quick_config
 from repro.sim.export import (
+    SCHEMA_VERSION,
     load_records_csv,
+    load_result_json,
     result_summary_dict,
     write_backlog_csv,
     write_records_csv,
@@ -74,6 +76,46 @@ class TestResultJson:
         payload = json.loads(path.read_text())
         assert payload["policy"] == "out-of-order"
         assert payload["config"]["n_nodes"] == result.config.n_nodes
+
+    def test_schema_version_stamped(self, result):
+        payload = result_summary_dict(result)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["policy_stats"] == result.policy_stats
+        assert payload["events_by_source"] == result.events_by_source
+
+    def test_load_roundtrip(self, result, tmp_path):
+        path = tmp_path / "summary.json"
+        write_result_json(path, result)
+        loaded = load_result_json(path)
+        assert loaded == json.loads(json.dumps(result_summary_dict(result)))
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert "policy_stats" in loaded and "events_by_source" in loaded
+
+    def test_load_upgrades_preversioned_files(self, result, tmp_path):
+        path = tmp_path / "old.json"
+        payload = result_summary_dict(result)
+        del payload["schema_version"]
+        del payload["policy_stats"]
+        del payload["events_by_source"]
+        path.write_text(json.dumps(payload, default=float))
+        loaded = load_result_json(path)
+        assert loaded["schema_version"] == 1
+        assert loaded["policy_stats"] == {}
+        assert loaded["events_by_source"] == {}
+
+    def test_load_rejects_newer_schema(self, result, tmp_path):
+        path = tmp_path / "future.json"
+        payload = result_summary_dict(result)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload, default=float))
+        with pytest.raises(ValueError, match="newer"):
+            load_result_json(path)
+
+    def test_load_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
+        with pytest.raises(ValueError, match="missing keys"):
+            load_result_json(path)
 
 
 class TestCliIntegration:

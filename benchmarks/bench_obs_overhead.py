@@ -23,10 +23,10 @@ or under pytest (``pytest benchmarks/bench_obs_overhead.py``).
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Tuple
 
 from repro.core import units
+from repro.core.clock import wall_clock
 from repro.obs import HookBus, NullSink, TraceRecorder
 from repro.sim.config import quick_config
 from repro.sim.simulator import SimulationResult, run_simulation
@@ -53,9 +53,9 @@ def _best_wall(
     best = float("inf")
     result = None
     for _ in range(rounds):
-        started = time.perf_counter()
+        started = wall_clock()
         result = run_simulation(_config(), "cache-splitting", sink=sink)
-        best = min(best, time.perf_counter() - started)
+        best = min(best, wall_clock() - started)
     assert result is not None
     return best, result
 
@@ -66,16 +66,16 @@ def _guard_cost_seconds(iterations: int = 2_000_000) -> float:
     assert not bus.enabled
     hits = 0
 
-    started = time.perf_counter()
+    started = wall_clock()
     for _ in range(iterations):
         if bus.enabled:
             hits += 1
-    guarded = time.perf_counter() - started
+    guarded = wall_clock() - started
 
-    started = time.perf_counter()
+    started = wall_clock()
     for _ in range(iterations):
         pass
-    empty = time.perf_counter() - started
+    empty = wall_clock() - started
 
     assert hits == 0
     return max(0.0, guarded - empty) / iterations
@@ -86,9 +86,9 @@ def measure_overhead() -> dict:
     untraced_wall, untraced = _best_wall()
 
     recorder = TraceRecorder(sample_interval=float("inf"))
-    traced_started = time.perf_counter()
+    traced_started = wall_clock()
     traced = run_simulation(_config(), "cache-splitting", sink=recorder)
-    traced_wall = time.perf_counter() - traced_started
+    traced_wall = wall_clock() - traced_started
     recorder.close()
 
     # Sanity: tracing must not change the simulation itself.

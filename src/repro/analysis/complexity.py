@@ -16,12 +16,12 @@ experiment.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.clock import wall_clock
 from ..sched.base import SchedulerPolicy
 from ..sim.config import SimulationConfig
 from ..sim.simulator import Simulation, SimulationResult
@@ -100,11 +100,11 @@ class _InstrumentedPolicy:
         return getattr(self._policy, name)
 
     def _timed(self, kind: str, method, *args) -> None:
-        started = time.perf_counter()
+        started = wall_clock()
         try:
             method(*args)
         finally:
-            self._report.profiles[kind].add(time.perf_counter() - started)
+            self._report.profiles[kind].add(wall_clock() - started)
 
     def on_job_arrival(self, job) -> None:
         self._timed("on_job_arrival", self._policy.on_job_arrival, job)

@@ -83,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--period", type=float, default=None, help="seconds")
     sim_parser.add_argument("--stripe", type=int, default=None, help="events")
     sim_parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="run the sim-sanitizer: assert engine/cache/node/scheduler "
+        "invariants during the run (identical metrics, slower)",
+    )
+    sim_parser.add_argument(
         "--dump-records", default=None, help="write per-job records CSV here"
     )
     sim_parser.add_argument(
@@ -164,6 +170,33 @@ def _build_parser() -> argparse.ArgumentParser:
     cal_parser.add_argument("--days", type=float, default=30.0)
     cal_parser.add_argument("--processes", type=int, default=None)
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run simlint (determinism & invariant static analysis) over "
+        "python sources; exit 1 on findings",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json has a stable schema for CI)",
+    )
+    lint_parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to check (default: all)",
+    )
+    lint_parser.add_argument(
+        "--rules", action="store_true", help="print the rule catalogue and exit"
+    )
+
     return parser
 
 
@@ -235,7 +268,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         params["period"] = args.period
     if args.stripe is not None:
         params["stripe_events"] = args.stripe
-    result = run_simulation(config, args.policy, **params)
+    result = run_simulation(
+        config,
+        args.policy,
+        check_invariants=args.check_invariants,
+        **params,
+    )
     print(result.brief())
     summary = result.measured
     rows = [
@@ -401,6 +439,35 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (
+        RULES,
+        LintUsageError,
+        lint_paths,
+        make_config,
+        render_json,
+        render_text,
+    )
+
+    if args.rules:
+        rows = [[code, description] for code, description in sorted(RULES.items())]
+        print(format_table(["code", "rule"], rows, title="simlint rule catalogue"))
+        return 0
+    try:
+        config = make_config(
+            args.select.split(",") if args.select else None
+        )
+        findings, files_checked = lint_paths(args.paths, config)
+    except LintUsageError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings, files_checked))
+    else:
+        print(render_text(findings, files_checked))
+    return 1 if findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "policies":
@@ -423,6 +490,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_replicate(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError("unreachable")
 
 

@@ -14,7 +14,10 @@ the paper's event-atomic processing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.sanitizer import InvariantChecker
 
 from ..core.engine import Engine
 from ..core.errors import SchedulingError
@@ -112,6 +115,10 @@ class Node:
         self._chunk: Optional[_RunningChunk] = None
         #: Installed by the simulator: ``callback(node, subjob)``.
         self.on_subjob_complete: Optional[Callable[["Node", Subjob], None]] = None
+        #: Sim-sanitizer transition hooks (``--check-invariants``); ``None``
+        #: in normal runs, so the cost when off is one ``is None`` test per
+        #: subjob transition.
+        self.checker: Optional["InvariantChecker"] = None
 
     # -- queries ---------------------------------------------------------------
 
@@ -141,6 +148,8 @@ class Node:
             )
         if subjob.remaining_events == 0:
             raise SchedulingError(f"subjob {subjob.sid} has no remaining work")
+        if self.checker is not None:
+            self.checker.on_subjob_start(self, subjob)
         if self.obs.enabled:
             now = self.engine.now
             kind = (
@@ -189,6 +198,8 @@ class Node:
             # Preempted exactly at completion: it is in fact done.
             self._finish_subjob(subjob, deferred=True)
             return None
+        if self.checker is not None:
+            self.checker.on_subjob_suspend(self, subjob)
         subjob.state = SubjobState.SUSPENDED
         subjob.node = None
         if self.obs.enabled:
@@ -275,6 +286,8 @@ class Node:
             )
 
     def _finish_subjob(self, subjob: Subjob, deferred: bool) -> None:
+        if self.checker is not None:
+            self.checker.on_subjob_finish(self, subjob)
         subjob.state = SubjobState.DONE
         subjob.node = None
         self.stats.subjobs_completed += 1

@@ -6,6 +6,7 @@ from .errors import (
     ConfigurationError,
     EngineError,
     IntervalError,
+    InvariantViolation,
     OverloadedError,
     ReproError,
     SchedulingError,
@@ -27,6 +28,7 @@ __all__ = [
     "EngineError",
     "CacheError",
     "IntervalError",
+    "InvariantViolation",
     "WorkloadError",
     "OverloadedError",
 ]

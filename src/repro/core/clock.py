@@ -1,0 +1,25 @@
+"""The one sanctioned wall-clock source (simlint rule SIM001).
+
+Simulation logic must never read the host clock: every timing decision
+inside a run derives from :attr:`repro.core.engine.Engine.now`, which is
+what makes runs bit-deterministic for a given seed.  The only legitimate
+wall-clock consumers are *meta* measurements — "how long did this sweep
+take on my machine" — and they all funnel through :func:`wall_clock`
+here, so the static analyser can allowlist exactly one module.
+
+``wall_clock`` is monotonic and has no defined epoch: only differences
+between two calls are meaningful.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_clock() -> float:
+    """Seconds on a monotonic high-resolution host clock.
+
+    For measuring elapsed *real* time around a simulation or benchmark;
+    never for anything that influences simulated behaviour.
+    """
+    return time.perf_counter()

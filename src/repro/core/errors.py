@@ -43,6 +43,13 @@ class ObsError(ReproError):
     shared null bus, or exporting a trace with no recorded events)."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime sim-sanitizer check failed (``--check-invariants``):
+    non-monotone event dispatch, corrupted cache accounting, an illegal
+    subjob state transition, or a double-assigned subjob.  Always a bug in
+    the simulator or a policy, never a user error."""
+
+
 class OverloadedError(ReproError):
     """Raised by strict analyses when asked for steady-state statistics of
     a simulation that left steady state (queues growing without bound)."""

@@ -26,6 +26,36 @@ DAY: float = 86_400.0
 WEEK: float = 7 * DAY
 
 
+#: Absolute tolerance for comparing simulation times (seconds).  Event
+#: times are sums of float durations, so exact equality is fragile; the
+#: simulator's shortest meaningful interval is ~1e-3 s (a single cached
+#: event), leaving nine orders of magnitude of headroom.
+TIME_EPSILON: float = 1e-9
+
+
+def times_equal(a: float, b: float, tol: float = TIME_EPSILON) -> bool:
+    """Tolerance-based equality for simulation times (simlint SIM003).
+
+    >>> times_equal(0.1 + 0.2, 0.3)
+    True
+    >>> times_equal(1.0, 1.1)
+    False
+    """
+    return abs(a - b) <= tol
+
+
+def times_close(a: float, b: float, rel: float = 1e-9, tol: float = TIME_EPSILON) -> bool:
+    """Relative-plus-absolute closeness for large simulation times.
+
+    Use when comparing times far from zero (e.g. multi-week horizons)
+    where a pure absolute tolerance is too strict.
+
+    >>> times_close(40 * DAY, 40 * DAY + 1e-6)
+    True
+    """
+    return abs(a - b) <= max(tol, rel * max(abs(a), abs(b)))
+
+
 def hours(x: float) -> float:
     """Convert hours to seconds."""
     return x * HOUR

@@ -21,7 +21,7 @@ from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..core.errors import CacheError
+from ..core.errors import CacheError, InvariantViolation
 from ..obs.hooks import NULL_BUS, HookBus, kinds
 from .intervals import Interval, IntervalSet
 
@@ -286,14 +286,17 @@ class LRUSegmentCache:
             index = bisect_left(self._starts, interval.end)
             if index < len(self._starts) and self._starts[index] == interval.end:
                 right = self._extents[self._ids_by_start[self._starts[index]]]
-                if right.last_access == last_access:
+                # Stamps are copied values (never arithmetic results), so
+                # exact equality is the correct coalescing criterion here.
+                if right.last_access == last_access:  # simlint: disable=SIM003
                     self._drop_extent(right)
                     interval = Interval(interval.start, right.interval.end)
                     changed = True
             index = bisect_left(self._starts, interval.start) - 1
             if index >= 0:
                 left = self._extents[self._ids_by_start[self._starts[index]]]
-                if left.interval.end == interval.start and left.last_access == last_access:
+                # Same as above: copied stamps, exact equality intended.
+                if left.interval.end == interval.start and left.last_access == last_access:  # simlint: disable=SIM003
                     self._drop_extent(left)
                     interval = Interval(left.interval.start, interval.end)
                     changed = True
@@ -356,6 +359,86 @@ class LRUSegmentCache:
             total += extent.interval.length
         if total != self._used:
             raise CacheError(f"used counter {self._used} != measured {total}")
+
+    def validate(self) -> None:
+        """Deep sim-sanitizer check: event accounting conservation, extent
+        index consistency and LRU structure validity.
+
+        Raises :class:`InvariantViolation` with a descriptive message.
+        O(extents + heap) — called from the simulator's periodic probe in
+        ``--check-invariants`` mode, never from the hot path.
+        """
+        who = f"cache(node {self.owner_id})"
+        if self._used > self.capacity_events:
+            raise InvariantViolation(
+                f"{who}: accounting over capacity "
+                f"({self._used} > {self.capacity_events} events)"
+            )
+        if self._used < 0:
+            raise InvariantViolation(f"{who}: negative used counter {self._used}")
+        if not (len(self._starts) == len(self._ids_by_start) == len(self._extents)):
+            raise InvariantViolation(
+                f"{who}: extent indexes out of sync "
+                f"(starts={len(self._starts)}, ids={len(self._ids_by_start)}, "
+                f"extents={len(self._extents)})"
+            )
+        total = 0
+        previous_end: Optional[int] = None
+        for start in self._starts:
+            extent_id = self._ids_by_start.get(start)
+            if extent_id is None or extent_id not in self._extents:
+                raise InvariantViolation(
+                    f"{who}: start index {start} has no backing extent"
+                )
+            extent = self._extents[extent_id]
+            if extent.interval.start != start:
+                raise InvariantViolation(
+                    f"{who}: extent {extent.interval} filed under start {start}"
+                )
+            if not extent.alive:
+                raise InvariantViolation(
+                    f"{who}: dead extent {extent.interval} still indexed"
+                )
+            if previous_end is not None and extent.interval.start < previous_end:
+                raise InvariantViolation(
+                    f"{who}: extents overlap at {extent.interval.start} "
+                    f"(previous extent ends at {previous_end})"
+                )
+            previous_end = extent.interval.end
+            total += extent.interval.length
+        if total != self._used:
+            raise InvariantViolation(
+                f"{who}: event accounting not conserved — used counter says "
+                f"{self._used} but extents measure {total}"
+            )
+        # LRU validity: every live extent must be reachable by eviction,
+        # with the heap stamp matching its access time, and the lazy heap
+        # must still satisfy the binary-heap ordering property.
+        stamped: Dict[int, float] = {}
+        for entry_index, entry in enumerate(self._lru_heap):
+            for child_index in (2 * entry_index + 1, 2 * entry_index + 2):
+                if (
+                    child_index < len(self._lru_heap)
+                    and self._lru_heap[child_index] < entry
+                ):
+                    raise InvariantViolation(
+                        f"{who}: LRU heap order violated at index {entry_index}"
+                    )
+            stamped.setdefault(entry[2], entry[0])
+        for extent_id, extent in self._extents.items():
+            stamp = stamped.get(extent_id)
+            if stamp is None:
+                raise InvariantViolation(
+                    f"{who}: live extent {extent.interval} missing from the "
+                    "LRU heap (unreachable by eviction)"
+                )
+            if not (stamp == extent.last_access):  # simlint: disable=SIM003
+                # Exact match intended: the heap entry is a copy of the
+                # extent's stamp, never the result of arithmetic.
+                raise InvariantViolation(
+                    f"{who}: LRU stamp {stamp} != extent access time "
+                    f"{extent.last_access} for {extent.interval}"
+                )
 
     def __repr__(self) -> str:
         return (

@@ -8,10 +8,10 @@ shape assessment where one can be computed mechanically.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..core.clock import wall_clock
 from ..sim.runner import SweepResult, run_sweep
 from .registry import Experiment, Scale, all_experiments, get_experiment
 
@@ -32,14 +32,14 @@ def run_experiment(
 ) -> ExperimentOutcome:
     """Run one registered experiment end to end."""
     experiment = get_experiment(exp_id)
-    started = time.perf_counter()
+    started = wall_clock()
     sweep = run_sweep(experiment.specs(scale), processes=processes, progress=progress)
     rendered = experiment.render(sweep)
     return ExperimentOutcome(
         experiment=experiment,
         sweep=sweep,
         rendered=rendered,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=wall_clock() - started,
     )
 
 

@@ -1,0 +1,43 @@
+"""simlint — determinism & invariant static analysis for the simulator.
+
+A custom AST pass enforcing the reproducibility discipline the paper's
+results depend on: no ambient wall-clock reads (SIM001), no unseeded
+randomness (SIM002), no exact float comparison of simulation times
+(SIM003), guarded hook emissions (SIM004), immutable shared configs
+(SIM005) and no I/O from simulation code (SIM006).
+
+Run it as ``repro lint src/repro`` (exit code 1 on findings) or use the
+API::
+
+    from repro.lint import lint_paths, render_text
+
+    findings, n_files = lint_paths(["src/repro"])
+    print(render_text(findings, n_files))
+"""
+
+from .checker import (
+    JSON_SCHEMA_VERSION,
+    LintUsageError,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    make_config,
+    render_json,
+    render_text,
+)
+from .config import LintConfig
+from .findings import RULES, Finding
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "LintConfig",
+    "LintUsageError",
+    "JSON_SCHEMA_VERSION",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "make_config",
+    "render_text",
+    "render_json",
+]

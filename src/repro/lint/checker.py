@@ -1,0 +1,181 @@
+"""simlint driver: file walking, suppression comments, report rendering.
+
+Suppression syntax (targeted, never blanket)::
+
+    x = time.time()  # simlint: disable=SIM001
+    # simlint: disable-next-line=SIM003,SIM004
+    if a.last_access == b.last_access: ...
+
+A bare ``# simlint: disable`` (no codes) suppresses every rule on its
+line; prefer naming the codes so later readers know what was waived.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ReproError
+from .config import LintConfig
+from .findings import RULES, Finding
+from .rules import RuleVisitor
+
+#: Bumped when the JSON report shape changes.
+JSON_SCHEMA_VERSION = 1
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(?P<directive>disable(?:-next-line)?)"
+    r"(?:\s*=\s*(?P<codes>[A-Z0-9,\s]+))?"
+)
+
+#: Sentinel meaning "every rule" in a suppression set.
+_ALL = "*"
+
+
+class LintUsageError(ReproError):
+    """Bad lint invocation (unknown rule code, missing path, ...)."""
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed codes (or ``{"*"}``)."""
+    suppressions: Dict[int, Set[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        codes_text = match.group("codes")
+        codes = (
+            {code.strip() for code in codes_text.split(",") if code.strip()}
+            if codes_text
+            else {_ALL}
+        )
+        line = token.start[0]
+        if match.group("directive") == "disable-next-line":
+            line += 1
+        suppressions.setdefault(line, set()).update(codes)
+    return suppressions
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], suppressions: Dict[int, Set[str]]
+) -> List[Finding]:
+    kept: List[Finding] = []
+    for finding in findings:
+        codes = suppressions.get(finding.line)
+        if codes is not None and (_ALL in codes or finding.code in codes):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    source: str, path: str, config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Lint one module's source text; ``path`` is used for reporting and
+    for the per-rule module allowlists (match on posix-style paths)."""
+    config = config or LintConfig()
+    posix_path = Path(path).as_posix()
+    tree = ast.parse(source, filename=path)
+    visitor = RuleVisitor(posix_path, config)
+    visitor.visit(tree)
+    findings = _apply_suppressions(visitor.findings, _parse_suppressions(source))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    files: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> Tuple[List[Finding], int]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(findings, files_checked)``.  Unparseable files surface as a
+    finding with code ``SIM000`` so CI fails loudly instead of skipping.
+    """
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    files = iter_python_files(paths)
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            findings.extend(lint_source(source, str(file_path), config))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    code="SIM000",
+                    path=file_path.as_posix(),
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) + 1,
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+    return sorted(findings, key=Finding.sort_key), len(files)
+
+
+def make_config(select: Optional[Sequence[str]] = None) -> LintConfig:
+    """Build a config from ``--select`` style code lists (validated)."""
+    if not select:
+        return LintConfig()
+    codes = {code.strip().upper() for code in select if code.strip()}
+    unknown = codes - set(RULES)
+    if unknown:
+        raise LintUsageError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(sorted(RULES))}"
+        )
+    return LintConfig(select=frozenset(codes))
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """Human-readable report (one finding per line, grep-friendly)."""
+    lines = [
+        f"{finding.location()}: {finding.code} {finding.message}"
+        for finding in findings
+    ]
+    noun = "file" if files_checked == 1 else "files"
+    if findings:
+        lines.append(
+            f"simlint: {len(findings)} finding(s) in {files_checked} {noun}"
+        )
+    else:
+        lines.append(f"simlint: clean ({files_checked} {noun} checked)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """Machine-readable report for CI (stable schema, see tests)."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "simlint",
+        "files_checked": files_checked,
+        "count": len(findings),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,66 @@
+"""Finding records and the rule catalogue of simlint.
+
+Each rule has a stable code (``SIM001``–``SIM006``) used in reports, in CI
+gating and in targeted suppression comments (``# simlint: disable=SIM003``).
+The catalogue doubles as documentation: ``repro lint --rules`` prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: Rule catalogue: code -> one-line description (kept in sync with
+#: docs/ARCHITECTURE.md's "Static analysis" section).
+RULES: Dict[str, str] = {
+    "SIM001": (
+        "wall-clock read (time.time/monotonic/perf_counter, argless "
+        "datetime.now/today) outside the sanctioned clock module"
+    ),
+    "SIM002": (
+        "global `random` module or unseeded numpy.random global state "
+        "outside core/rng.py; use RandomStreams named streams"
+    ),
+    "SIM003": (
+        "float ==/!= on a simulation-time expression; use "
+        "units.times_equal / times_close tolerance helpers"
+    ),
+    "SIM004": (
+        "hook emission not wrapped in the one-branch disabled guard "
+        "(`if bus.enabled:` / `if bus.engine_dispatch:`)"
+    ),
+    "SIM005": (
+        "mutation of a shared SimulationConfig/scenario object; configs "
+        "are frozen values — build a new one with .with_()"
+    ),
+    "SIM006": (
+        "I/O (open/print/write_text/write_bytes/input) in simulation code "
+        "outside export/CLI/obs modules"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a precise source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)

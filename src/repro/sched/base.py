@@ -138,7 +138,7 @@ class SchedulerPolicy(ABC):
         """The simulation's hook bus (disabled singleton before bind)."""
         return self.ctx.obs if self.ctx is not None else NULL_BUS
 
-    def emit(self, kind: str, **fields) -> None:
+    def emit(self, kind: str, **fields: object) -> None:
         """Emit one trace event stamped with the current simulation time.
 
         Callers on hot paths should guard with ``if self.obs.enabled:``
@@ -211,7 +211,7 @@ def available_policies() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def create_policy(name: str, **params) -> SchedulerPolicy:
+def create_policy(name: str, **params: object) -> SchedulerPolicy:
     """Instantiate a registered policy by name."""
     try:
         cls = _REGISTRY[name]

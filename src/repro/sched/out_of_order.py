@@ -22,7 +22,7 @@ later cached subjob to preempt them.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..core import units
 from ..core.events import EventPriority
@@ -30,6 +30,7 @@ from ..cluster.node import Node
 from ..obs.hooks import kinds
 from ..workload.jobs import Job, Subjob
 from .base import (
+    SchedulerContext,
     SchedulerPolicy,
     register_policy,
     split_interval_by_caches,
@@ -52,12 +53,12 @@ class OutOfOrderPolicy(SchedulerPolicy):
         #: Jobs promoted by the fairness valve, in promotion order.
         self.priority_jobs: Deque[Job] = deque()
         #: Jobs with a pending starvation-clock event.
-        self._fairness_armed: set = set()
+        self._fairness_armed: Set[Job] = set()
         self.stats_fairness_promotions = 0
         self.stats_steals = 0
         self.stats_preempted_for_cached = 0
 
-    def bind(self, ctx) -> None:
+    def bind(self, ctx: SchedulerContext) -> None:
         super().bind(ctx)
         self.node_queues = {node.node_id: deque() for node in ctx.cluster}
 

@@ -20,6 +20,7 @@ from .replications import (
     run_replications,
 )
 from .runner import RunSpec, SweepResult, load_sweep, run_sweep
+from .sanitizer import InvariantChecker
 from .simulator import Simulation, SimulationResult, run_simulation
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "paper_config",
     "quick_config",
     "Simulation",
+    "InvariantChecker",
     "SimulationResult",
     "run_simulation",
     "JobRecord",

@@ -10,11 +10,11 @@ and returns a pickleable :class:`SimulationResult`.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core import units
+from ..core.clock import wall_clock
 from ..core.engine import Engine
 from ..core.events import EventPriority
 from ..core.rng import RandomStreams
@@ -29,6 +29,7 @@ from ..workload.jobs import Job, JobRequest, Subjob
 from .config import SimulationConfig
 from .metrics import JobRecord, MetricsCollector, PerformanceSummary
 from .overload import OverloadVerdict, analyse_backlog
+from .sanitizer import InvariantChecker
 
 
 @dataclass
@@ -102,6 +103,7 @@ class Simulation:
         policy: SchedulerPolicy,
         trace: Optional[Sequence[JobRequest]] = None,
         sink: Optional[TraceSink] = None,
+        check_invariants: bool = False,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -111,7 +113,14 @@ class Simulation:
         self.obs = HookBus()
         if sink is not None:
             self.obs.attach(sink)
-        self.engine = Engine(obs=self.obs)
+        #: Sim-sanitizer (``--check-invariants``): cheap transition checks
+        #: inline, deep O(state) validation piggybacked on the existing
+        #: probe events so the event calendar — and therefore the metrics —
+        #: are identical to an unchecked run.
+        self.checker: Optional[InvariantChecker] = (
+            InvariantChecker() if check_invariants else None
+        )
+        self.engine = Engine(obs=self.obs, check_invariants=check_invariants)
         self.streams = RandomStreams(config.seed)
         dataspace = config.dataspace()
         self.tertiary = TertiaryStorage(dataspace, obs=self.obs)
@@ -130,6 +139,9 @@ class Simulation:
             ),
             obs=self.obs,
         )
+        if self.checker is not None:
+            for node in self.cluster:
+                node.checker = self.checker
         self.metrics = MetricsCollector(config.cost_model().uncached_event_time)
         self.jobs: Dict[int, Job] = {}
         self._trace = list(trace) if trace is not None else None
@@ -194,6 +206,8 @@ class Simulation:
             self.policy.on_subjob_end(node, subjob)
 
     def _probe(self) -> None:
+        if self.checker is not None:
+            self.checker.deep_check(self.engine, self.cluster, self.jobs.values())
         self.metrics.probe(self.engine.now, len(self.cluster.busy_nodes()))
         if self.engine.now + self.config.probe_interval <= self.config.duration:
             self.engine.call_after(
@@ -225,7 +239,7 @@ class Simulation:
         self.engine.call_at(0.0, self._probe, priority=EventPriority.PROBE)
 
     def run(self) -> SimulationResult:
-        started = time.perf_counter()
+        started = wall_clock()
         self.prime()
         if self.obs.enabled:
             self.obs.emit(
@@ -239,7 +253,7 @@ class Simulation:
         self.engine.run(until=self.config.duration)
         if self.obs.enabled:
             self.obs.emit(self.engine.now, kinds.SIM_END, "sim")
-        wall = time.perf_counter() - started
+        wall = wall_clock() - started
         return self._build_result(wall)
 
     def _build_result(self, wall_seconds: float) -> SimulationResult:
@@ -285,12 +299,14 @@ def run_simulation(
     policy: str,
     trace: Optional[Sequence[JobRequest]] = None,
     sink: Optional[TraceSink] = None,
-    **policy_params,
+    check_invariants: bool = False,
+    **policy_params: object,
 ) -> SimulationResult:
     """Build and run one simulation; the library's main entry point.
 
     Pass ``sink`` (e.g. a :class:`repro.obs.TraceRecorder`) to observe the
-    run as structured trace events.
+    run as structured trace events, and ``check_invariants=True`` to run
+    the sim-sanitizer (identical metrics, extra runtime checks).
 
     >>> from repro.sim.config import quick_config
     >>> result = run_simulation(quick_config(duration=86400.0), "farm")
@@ -298,4 +314,10 @@ def run_simulation(
     'farm'
     """
     policy_instance = create_policy(policy, **policy_params)
-    return Simulation(config, policy_instance, trace=trace, sink=sink).run()
+    return Simulation(
+        config,
+        policy_instance,
+        trace=trace,
+        sink=sink,
+        check_invariants=check_invariants,
+    ).run()

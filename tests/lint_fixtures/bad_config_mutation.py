@@ -1,0 +1,14 @@
+"""SIM005 fixture: mutating shared config/scenario objects."""
+
+
+def tamper(config, scenario, run_config):
+    config.n_nodes = 12  # attribute write
+    scenario["extra_jobs"] = 1  # subscript write
+    run_config.duration += 3600.0  # augmented write
+    setattr(config, "seed", 1)  # setattr
+    del scenario.warmup  # delete
+
+
+def fine(config):
+    local = config.n_nodes  # reads are fine
+    return local

@@ -1,0 +1,13 @@
+"""SIM003 fixture: exact float equality on simulation times."""
+
+
+def collides(a, b, now):
+    if a.arrival_time == b.arrival_time:  # line 5: == on *_time
+        return True
+    if now != a.deadline:  # line 7: != on exact name
+        return False
+    return a.started_at == b.started_at  # line 9: == on *_at
+
+
+def fine(a, b):
+    return a.n_events == b.n_events  # counts: not flagged

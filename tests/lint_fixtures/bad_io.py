@@ -1,0 +1,10 @@
+"""SIM006 fixture: I/O from simulation code."""
+
+from pathlib import Path
+
+
+def leaky(result, path):
+    print(result)  # line 7: terminal write
+    with open(path) as handle:  # line 8: file read
+        handle.read()
+    Path(path).write_text("data")  # line 10: file write

@@ -1,0 +1,12 @@
+"""SIM002 fixture: global random module and numpy global state."""
+
+import random  # line 3: global random module
+
+import numpy as np
+from numpy import random as npr
+
+np.random.seed(42)  # line 8: global numpy seed
+x = np.random.normal()  # line 9: global numpy draw
+y = npr.uniform(0.0, 1.0)  # line 10: aliased numpy.random draw
+rng = np.random.default_rng()  # line 11: unseeded generator
+ok = np.random.default_rng(7)  # seeded: not flagged

@@ -1,0 +1,18 @@
+"""SIM004 fixture: hook emissions without the one-branch guard."""
+
+
+class Component:
+    def __init__(self, bus):
+        self.obs = bus
+
+    def hot_path(self, now):
+        self.obs.emit(now, "kind", "src", detail=1)  # line 9: unguarded
+
+    def guarded(self, now):
+        if self.obs.enabled:
+            self.obs.emit(now, "kind", "src")  # guarded: not flagged
+
+    def early_return(self, now, bus):
+        if not bus.enabled:
+            return
+        bus.emit(now, "kind", "src")  # early-return guard: not flagged

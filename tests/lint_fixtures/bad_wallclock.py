@@ -1,0 +1,13 @@
+"""SIM001 fixture: every flavour of ambient wall-clock read."""
+
+import datetime
+import time
+import time as chrono
+from datetime import datetime as dt
+
+started = time.time()  # direct call
+elapsed = time.perf_counter()  # perf counter
+mono = chrono.monotonic()  # aliased module
+stamp = datetime.datetime.now()  # argless now
+today = dt.today()  # aliased constructor
+ok = dt.now(datetime.timezone.utc)  # explicit tz: not flagged

@@ -1,0 +1,31 @@
+"""Negative fixture: idiomatic simulator code no rule should flag."""
+
+from repro.core.clock import wall_clock
+from repro.core.units import times_equal
+
+
+def timed_run(simulate):
+    started = wall_clock()
+    result = simulate()
+    return result, wall_clock() - started
+
+
+def same_completion(a, b):
+    return times_equal(a.completion_time, b.completion_time)
+
+
+def draw(streams, count):
+    return streams.get("arrivals").integers(0, 10, size=count)
+
+
+class Traced:
+    def __init__(self, bus):
+        self.obs = bus
+
+    def step(self, now):
+        if self.obs.enabled:
+            self.obs.emit(now, "step", "fixture")
+
+
+def rebuild(config):
+    return config.with_(n_nodes=config.n_nodes * 2)

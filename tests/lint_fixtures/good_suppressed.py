@@ -1,0 +1,19 @@
+"""Negative fixture: real violations silenced by targeted suppressions."""
+
+import time
+
+
+def benchmark(run):
+    started = time.perf_counter()  # simlint: disable=SIM001
+    run()
+    # simlint: disable-next-line=SIM001
+    return time.perf_counter() - started
+
+
+def exact_stamp_match(a, b):
+    # Copied stamps, exact equality intended.
+    return a.last_access == b.last_access  # simlint: disable=SIM003
+
+
+def noisy(result):
+    print(result)  # simlint: disable

@@ -33,7 +33,7 @@ from .experiments import (
     summarize_table,
 )
 from .sched import available_policies
-from .sim.config import paper_config
+from .sim.config import FaultConfig, paper_config
 from .sim.simulator import run_simulation
 
 
@@ -43,6 +43,58 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         choices=[s.value for s in Scale],
         default=Scale.QUICK.value,
         help="sweep size: smoke (seconds), quick (minutes), full (paper-faithful)",
+    )
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault injection (repro.faults)")
+    group.add_argument(
+        "--faults",
+        action="store_true",
+        help="inject node crashes from seeded exponential MTBF/MTTR processes",
+    )
+    group.add_argument(
+        "--mtbf",
+        default="1d",
+        metavar="DUR",
+        help="mean time between failures per node, e.g. 6h, 1d, 1w (default 1d)",
+    )
+    group.add_argument(
+        "--mttr",
+        default="2h",
+        metavar="DUR",
+        help="mean time to repair per node (default 2h)",
+    )
+    group.add_argument(
+        "--stall-interval",
+        default=None,
+        metavar="DUR",
+        help="also inject cluster-wide tertiary stalls with this mean gap "
+        "(off unless given)",
+    )
+    group.add_argument(
+        "--wipe-cache",
+        action="store_true",
+        help="a crash also loses the node's disk cache contents",
+    )
+
+
+def _fault_config_from_args(args: argparse.Namespace) -> Optional[FaultConfig]:
+    if not args.faults:
+        if args.wipe_cache or args.stall_interval is not None:
+            raise SystemExit(
+                "repro: --wipe-cache/--stall-interval require --faults"
+            )
+        return None
+    return FaultConfig(
+        node_mtbf=units.parse_duration(args.mtbf),
+        node_mttr=units.parse_duration(args.mttr),
+        wipe_cache_on_failure=args.wipe_cache,
+        stall_interval=(
+            units.parse_duration(args.stall_interval)
+            if args.stall_interval is not None
+            else 0.0
+        ),
     )
 
 
@@ -94,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--dump-json", default=None, help="write the result summary JSON here"
     )
+    _add_fault_args(sim_parser)
 
     trace_parser = sub.add_parser(
         "trace",
@@ -143,6 +196,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--no-ascii", action="store_true", help="skip the ASCII timeline"
     )
+    _add_fault_args(trace_parser)
 
     exp_parser = sub.add_parser(
         "export", help="run an experiment and write gnuplot .dat/.gp files"
@@ -262,6 +316,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cache_bytes=int(args.cache_gb * units.GB),
         n_nodes=args.nodes,
         seed=args.seed,
+        faults=_fault_config_from_args(args),
     )
     params = {}
     if args.period is not None:
@@ -289,6 +344,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["overloaded", result.overload.overloaded],
     ]
     print(format_table(["metric", "value"], rows))
+    if result.faults is not None:
+        faults = result.faults
+        total_node_seconds = config.duration * config.n_nodes
+        fault_rows = [
+            ["node failures", faults.failures],
+            ["subjobs aborted", faults.subjobs_aborted],
+            ["retries / giveups", f"{faults.retries} / {faults.giveups}"],
+            ["lost events", faults.lost_events],
+            ["lost work", units.fmt_duration(faults.lost_seconds)],
+            ["downtime", units.fmt_duration(faults.downtime_seconds)],
+            [
+                "availability",
+                f"{1.0 - faults.downtime_seconds / total_node_seconds:.4f}",
+            ],
+            ["tertiary stalls", faults.stalls],
+            ["stall time", units.fmt_duration(faults.stall_seconds)],
+            ["goodput", f"{faults.goodput:.4f}"],
+        ]
+        print(format_table(["fault metric", "value"], fault_rows))
     if args.dump_records:
         from .sim.export import write_records_csv
 
@@ -333,6 +407,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         cache_bytes=int(args.cache_gb * units.GB),
         n_nodes=args.nodes,
         seed=args.seed,
+        faults=_fault_config_from_args(args),
     )
     params = {}
     if args.period is not None:

@@ -45,6 +45,14 @@ class NodeStats:
     chunks_started: int = 0
     preemptions: int = 0
     subjobs_completed: int = 0
+    # -- fault accounting (repro.faults) ------------------------------------
+    failures: int = 0
+    subjobs_aborted: int = 0
+    #: Whole events that were processed but lost with the in-flight chunk.
+    lost_events: int = 0
+    #: Wall time of crashed chunks (elapsed compute that produced nothing).
+    lost_seconds: float = 0.0
+    downtime_seconds: float = 0.0
 
     def utilization(self, elapsed: float) -> float:
         return 0.0 if elapsed <= 0 else self.busy_seconds / elapsed
@@ -113,6 +121,14 @@ class Node:
         self.stats = NodeStats()
         self.current: Optional[Subjob] = None
         self._chunk: Optional[_RunningChunk] = None
+        #: Crash state (repro.faults): a failed node accepts no work and
+        #: its cache is invisible to placement decisions until recovery.
+        self.failed = False
+        self._down_since = 0.0
+        #: Per-event time multiplier for tertiary chunks (tertiary-stall
+        #: modelling; snapshotted into each chunk at plan time, mirroring
+        #: the contention planner's rate_factor approximation).
+        self.tertiary_slowdown = 1.0
         #: Installed by the simulator: ``callback(node, subjob)``.
         self.on_subjob_complete: Optional[Callable[["Node", Subjob], None]] = None
         #: Sim-sanitizer transition hooks (``--check-invariants``); ``None``
@@ -128,7 +144,8 @@ class Node:
 
     @property
     def idle(self) -> bool:
-        return self.current is None
+        """Free to accept work: no running subjob and not crashed."""
+        return self.current is None and not self.failed
 
     def current_source(self) -> Optional[DataSource]:
         """Data source of the in-flight chunk (None when idle)."""
@@ -141,6 +158,10 @@ class Node:
         if self.busy:
             raise SchedulingError(
                 f"node {self.node_id} is busy with {self.current!r}"
+            )
+        if self.failed:
+            raise SchedulingError(
+                f"node {self.node_id} is failed; cannot start {subjob.sid}"
             )
         if subjob.state not in (SubjobState.PENDING, SubjobState.SUSPENDED):
             raise SchedulingError(
@@ -216,6 +237,96 @@ class Node:
             self.obs.emit(now, kinds.NODE_IDLE, "node", node=self.node_id)
         return subjob
 
+    # -- faults (repro.faults) ----------------------------------------------------
+
+    def fail(self, wipe_cache: bool = False) -> Optional[Subjob]:
+        """Crash the node: abort the running chunk, losing its progress.
+
+        Unlike :meth:`preempt`, an abort credits *nothing* from the
+        in-flight chunk — the whole events already computed in it are lost
+        work (tracked in :attr:`NodeStats.lost_events` /
+        :attr:`NodeStats.lost_seconds`).  Progress from previously
+        completed chunks survives, so a retried subjob resumes from the
+        last chunk boundary.  Returns the aborted subjob (SUSPENDED), or
+        ``None`` if the node was not running one.
+        """
+        if self.failed:
+            raise SchedulingError(f"node {self.node_id} is already failed")
+        subjob = self.current
+        aborted: Optional[Subjob] = None
+        if subjob is not None:
+            chunk = self._chunk
+            assert chunk is not None
+            self.engine.cancel(chunk.completion_event)
+            elapsed = self.engine.now - chunk.started_at
+            productive = max(0.0, elapsed - chunk.setup_latency)
+            lost = int(productive / chunk.per_event_time + _EVENT_EPSILON)
+            lost = min(lost, chunk.plan.interval.length)
+            # Keep the planner's started/finished pairing, crediting no
+            # events (contention trackers must see the stream end).
+            self.planner.on_chunk_processed(
+                self, chunk.plan, chunk.plan.interval.take_left(0)
+            )
+            self.planner.on_chunk_finished(self, chunk.plan)
+            self._chunk = None
+            self.current = None
+            self.stats.subjobs_aborted += 1
+            self.stats.lost_events += lost
+            self.stats.lost_seconds += elapsed
+            if self.checker is not None:
+                self.checker.on_subjob_abort(self, subjob)
+            subjob.state = SubjobState.SUSPENDED
+            subjob.node = None
+            aborted = subjob
+        self.failed = True
+        self._down_since = self.engine.now
+        self.stats.failures += 1
+        if wipe_cache:
+            self.cache.clear()
+        if self.checker is not None:
+            self.checker.on_node_failed(self)
+        if self.obs.enabled:
+            now = self.engine.now
+            if aborted is not None:
+                self.obs.emit(
+                    now,
+                    kinds.SUBJOB_ABORT,
+                    "node",
+                    node=self.node_id,
+                    job=aborted.job.job_id,
+                    sid=aborted.sid,
+                    events=aborted.remaining_events,
+                )
+            self.obs.emit(
+                now,
+                kinds.NODE_FAIL,
+                "node",
+                node=self.node_id,
+                wiped=wipe_cache,
+                aborted=aborted.sid if aborted is not None else "",
+            )
+            self.obs.emit(now, kinds.NODE_IDLE, "node", node=self.node_id)
+        return aborted
+
+    def recover(self) -> None:
+        """Bring a failed node back up (idle, ready for work)."""
+        if not self.failed:
+            raise SchedulingError(f"node {self.node_id} is not failed")
+        self.failed = False
+        self.stats.downtime_seconds += self.engine.now - self._down_since
+        if self.checker is not None:
+            self.checker.on_node_recovered(self)
+        if self.obs.enabled:
+            self.obs.emit(
+                self.engine.now, kinds.NODE_RECOVER, "node", node=self.node_id
+            )
+
+    def flush_downtime(self) -> None:
+        """Fold any open downtime stretch into the stats (end of run)."""
+        if self.failed:
+            self.stats.downtime_seconds += self.engine.now - self._down_since
+            self._down_since = self.engine.now
+
     # -- internals ----------------------------------------------------------------
 
     def _begin_next_chunk(self) -> None:
@@ -232,6 +343,8 @@ class Node:
             self.cost_model.event_time(plan.source, self.speed_factor)
             * plan.rate_factor
         )
+        if plan.source is DataSource.TERTIARY and self.tertiary_slowdown != 1.0:
+            per_event *= self.tertiary_slowdown
         setup = self.cost_model.setup_latency(plan.source) * self.speed_factor
         duration = setup + plan.interval.length * per_event
         self.planner.on_chunk_started(self, plan)

@@ -18,7 +18,7 @@ profiling runs on this workload.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..obs.hooks import NULL_BUS, HookBus, kinds
 from .errors import EngineError, InvariantViolation
@@ -128,6 +128,21 @@ class Engine:
         if event is not None and not event.cancelled:
             event.cancel()
             self.stats.cancelled += 1
+
+    def timer(
+        self,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = EventPriority.TIMER,
+        label: str = "",
+    ) -> "Timer":
+        """A reusable cancellable timer bound to this engine.
+
+        Unlike raw :meth:`call_at` handles, a :class:`Timer` can be
+        re-armed: scheduling it again first cancels the pending firing, so
+        holders never leak stale events (retry/backoff logic, watchdogs).
+        """
+        return Timer(self, callback, args, priority=priority, label=label)
 
     # -- execution -------------------------------------------------------------
 
@@ -250,3 +265,74 @@ class Engine:
             f"Engine(now={self._now:.3f}, pending={len(self._heap)}, "
             f"dispatched={self.stats.dispatched})"
         )
+
+
+class Timer:
+    """A one-shot, re-armable timer over a single calendar slot.
+
+    At most one firing is ever pending: :meth:`schedule_at` /
+    :meth:`schedule_after` cancel any previous arming before scheduling
+    the new one, and :meth:`cancel` is idempotent.  The callback and its
+    arguments are fixed at construction (see :meth:`Engine.timer`).
+
+    >>> eng = Engine()
+    >>> fired = []
+    >>> t = eng.timer(fired.append, "x")
+    >>> _ = t.schedule_at(5.0)
+    >>> _ = t.schedule_at(1.0)   # re-arm: the t=5 firing is cancelled
+    >>> eng.run()
+    >>> (fired, eng.now)
+    (['x'], 1.0)
+    """
+
+    __slots__ = ("engine", "callback", "args", "priority", "label", "_event")
+
+    def __init__(
+        self,
+        engine: Engine,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        priority: int = EventPriority.TIMER,
+        label: str = "",
+    ) -> None:
+        self.engine = engine
+        self.callback = callback
+        self.args = args
+        self.priority = int(priority)
+        self.label = label
+        self._event: Optional[ScheduledEvent] = None
+
+    @property
+    def active(self) -> bool:
+        """True while a firing is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def fire_time(self) -> Optional[float]:
+        """Absolute time of the pending firing (None when disarmed)."""
+        return self._event.time if self.active and self._event else None
+
+    def schedule_at(self, time: float) -> ScheduledEvent:
+        """Arm (or re-arm) the timer to fire at absolute ``time``."""
+        self.cancel()
+        self._event = self.engine.call_at(
+            time,
+            self._fire,
+            priority=self.priority,
+            label=self.label,
+        )
+        return self._event
+
+    def schedule_after(self, delay: float) -> ScheduledEvent:
+        """Arm (or re-arm) the timer ``delay`` seconds from now."""
+        return self.schedule_at(self.engine.now + delay)
+
+    def cancel(self) -> None:
+        """Disarm the pending firing, if any (idempotent)."""
+        if self._event is not None:
+            self.engine.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.callback(*self.args)

@@ -20,6 +20,10 @@ class EventPriority(enum.IntEnum):
 
     #: Completion of a chunk / subjob — frees resources first.
     COMPLETION = 0
+    #: Fault-injection events (node crash/recovery, tertiary stalls): a
+    #: chunk completing at the same instant as a crash counts as finished,
+    #: but scheduling activity at that instant already sees the node down.
+    FAULT = 5
     #: Period boundaries of the delayed scheduler.
     PERIOD = 10
     #: New job arrivals.

@@ -25,11 +25,17 @@ class TertiaryStats:
 
     events_read: int = 0
     read_requests: int = 0
+    #: Events read for the first time (never pulled from tape before).
+    distinct_events_read: int = 0
     events_read_per_node: Dict[int, int] = field(default_factory=dict)
 
     @property
-    def unique_fraction(self) -> float:  # pragma: no cover - convenience
-        return 0.0 if self.events_read == 0 else 1.0
+    def unique_fraction(self) -> float:
+        """Fraction of tape traffic that was first-time reads (1.0 = no
+        event re-fetched; the inverse of the redundancy factor)."""
+        if self.events_read == 0:
+            return 0.0
+        return self.distinct_events_read / self.events_read
 
 
 class TertiaryStorage:
@@ -59,6 +65,8 @@ class TertiaryStorage:
         self.stats.read_requests += 1
         per_node = self.stats.events_read_per_node
         per_node[node_id] = per_node.get(node_id, 0) + interval.length
+        fresh = interval.length - self._distinct.overlap_measure(interval)
+        self.stats.distinct_events_read += fresh
         self._distinct.add(interval)
         if self.obs.enabled and now is not None:
             self.obs.emit(
@@ -73,8 +81,12 @@ class TertiaryStorage:
 
     @property
     def distinct_events_read(self) -> int:
-        """Number of distinct events ever pulled from tape."""
-        return self._distinct.measure()
+        """Number of distinct events ever pulled from tape.
+
+        Maintained incrementally in :meth:`read` (mirrored on
+        ``stats.distinct_events_read``); equals ``self._distinct.measure()``.
+        """
+        return self.stats.distinct_events_read
 
     @property
     def redundancy_factor(self) -> float:

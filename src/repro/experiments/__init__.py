@@ -12,6 +12,7 @@ from . import figures  # noqa: F401  (registers fig2..fig7, repl, maxload, ...)
 from . import ablations  # noqa: F401  (registers ablate-*)
 from . import extensions  # noqa: F401  (registers fairness, ablate-network, scenario-diurnal)
 from . import complexity_exp  # noqa: F401  (registers complexity)
+from . import faults_exp  # noqa: F401  (registers faults)
 from .calibration import (
     DEFAULT_CANDIDATE_DELAYS,
     calibrate_delay_table,

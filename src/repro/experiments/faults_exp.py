@@ -1,0 +1,134 @@
+"""The ``faults`` experiment — policy degradation under node failures.
+
+The paper evaluates its policies on an implicitly perfect cluster.  This
+experiment injects node crashes (per-node exponential MTBF/MTTR renewal
+processes from dedicated RNG streams — the failure trace is identical
+for every policy at a given seed) and compares how the policies degrade
+as availability drops.
+
+The mechanism under test: a crash loses the node's in-flight chunk.  The
+farm policy runs whole jobs from tertiary storage (~0.8 s/event), so its
+in-flight chunks are long and every crash wastes a lot of compute; the
+cache-aware policies process mostly cached chunks (~0.26 s/event) and
+split work into smaller per-node pieces, so the same crash schedule
+costs them strictly less lost work — cache locality doubles as crash
+resilience.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.tables import format_table
+from ..core import units
+from ..sim.config import FaultConfig
+from ..sim.runner import RunSpec, SweepResult
+from .figures import _base
+from .registry import Experiment, Scale, register_experiment
+
+_POLICIES = ("farm", "cache-splitting", "out-of-order", "delayed")
+
+#: Mean time between failures per node: frequent → rare → none (baseline).
+_MTBF_POINTS: List[Optional[float]] = [
+    6 * units.HOUR,
+    1 * units.DAY,
+    1 * units.WEEK,
+    None,
+]
+
+_MTTR = 1 * units.HOUR
+
+
+def _fault_label(mtbf: Optional[float]) -> str:
+    return "none" if mtbf is None else units.fmt_duration(mtbf)
+
+
+def _faults_build(scale: Scale) -> List[RunSpec]:
+    base = _base(scale, arrival_rate_per_hour=1.0)
+    specs: List[RunSpec] = []
+    for mtbf in _MTBF_POINTS:
+        faults = (
+            None
+            if mtbf is None
+            else FaultConfig(node_mtbf=mtbf, node_mttr=_MTTR)
+        )
+        config = base.with_(faults=faults)
+        for policy in _POLICIES:
+            specs.append(
+                RunSpec.make(
+                    config,
+                    policy,
+                    label=f"{policy}@mtbf={_fault_label(mtbf)}",
+                )
+            )
+    return specs
+
+
+def _faults_render(sweep: SweepResult) -> str:
+    rows = []
+    for spec, result in zip(sweep.specs, sweep.results):
+        faults = result.faults
+        duration = spec.config.duration * spec.config.n_nodes
+        if faults is None:
+            availability = 1.0
+            lost_events = 0
+            lost_pct = 0.0
+            retries = 0
+            goodput = 1.0
+        else:
+            availability = 1.0 - faults.downtime_seconds / duration
+            lost_events = faults.lost_events
+            lost_pct = 100.0 * (1.0 - faults.goodput)
+            retries = faults.retries
+            goodput = faults.goodput
+        rows.append(
+            [
+                spec.label,
+                f"{availability:.4f}",
+                lost_events,
+                f"{lost_pct:.2f}",
+                retries,
+                f"{goodput:.4f}",
+                f"{result.measured.mean_speedup:.2f}",
+                result.measured.n_jobs,
+                "OVERLOADED" if result.overload.overloaded else "steady",
+            ]
+        )
+    return format_table(
+        [
+            "policy@mtbf",
+            "availability",
+            "lost events",
+            "lost work %",
+            "retries",
+            "goodput",
+            "speedup",
+            "jobs",
+            "state",
+        ],
+        rows,
+        title=(
+            "Policy degradation under node crashes (identical per-seed "
+            "failure schedule for every policy; MTTR "
+            f"{units.fmt_duration(_MTTR)}) — the farm's long uncached "
+            "chunks lose the most work per crash; cache-aware policies "
+            "degrade less"
+        ),
+    )
+
+
+register_experiment(
+    Experiment(
+        exp_id="faults",
+        title="Fault injection: policy robustness vs node availability",
+        paper_ref="beyond the paper (its cluster is implicitly perfect)",
+        build=_faults_build,
+        render=_faults_render,
+        expectation=(
+            "with the same crash schedule, the farm policy shows the most "
+            "lost work (long uncached in-flight chunks) while at least one "
+            "cache-aware policy loses strictly less; goodput and speedup "
+            "degrade monotonically as MTBF shrinks"
+        ),
+    )
+)

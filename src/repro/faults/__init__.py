@@ -1,0 +1,34 @@
+"""Fault injection for the simulated cluster (``repro.faults``).
+
+The paper's model implicitly assumes a perfect cluster: nodes never
+crash, tertiary storage never degrades.  This subsystem injects both
+fault classes as deterministic, seeded processes so the scheduling
+policies can be compared under *availability* as well as load:
+
+* :mod:`~repro.faults.processes` derives crash/recovery and
+  tertiary-stall schedules from the sanctioned RNG streams (or from a
+  scripted trace for tests) — the schedule depends only on
+  ``(seed, FaultConfig)``, never on the policy under test, so every
+  policy in a sweep faces the *same* failures;
+* :mod:`~repro.faults.injector` drives the schedule through the engine,
+  crashing/recovering nodes and degrading tertiary reads;
+* :mod:`~repro.faults.recovery` re-dispatches crash-aborted subjobs with
+  exponential backoff, resuming from the last completed chunk boundary
+  (completed-chunk progress survives a crash by construction).
+
+Enable with ``SimulationConfig(faults=FaultConfig(...))`` or the CLI's
+``--faults`` flag; results gain a
+:class:`~repro.sim.metrics.FaultSummary`.
+"""
+
+from .injector import FaultInjector
+from .processes import FaultEvent, build_fault_schedule
+from .recovery import RecoveryManager, backoff_delay
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "RecoveryManager",
+    "backoff_delay",
+    "build_fault_schedule",
+]

@@ -1,0 +1,126 @@
+"""Failure processes: seeded schedules of crash/recovery and stall events.
+
+Schedules are *precomputed* before the run starts, from RNG streams that
+nothing else consumes (``faults.node<i>``, ``faults.tertiary``).  Two
+consequences, both deliberate:
+
+* the failure trace is a pure function of ``(seed, FaultConfig,
+  n_nodes, horizon)`` — every policy in a comparison sweep experiences
+  the identical failures, so availability differences between policies
+  are attributable to the policies alone;
+* adding fault injection to a run does not perturb any existing stream
+  (arrivals, job sizes, ...), so a faulted run's *workload* is
+  bit-identical to the fault-free run with the same seed.
+
+Node crashes follow an alternating renewal process per node — up times
+~ Exp(mtbf), down times ~ Exp(mttr) — the standard availability model
+for independent machine failures.  Tertiary stalls are a single
+cluster-wide renewal process (the storage system is shared).  A
+non-empty ``FaultConfig.scripted`` trace replaces both stochastic
+processes (deterministic tests and replay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.rng import RandomStreams
+from ..sim.config import FaultConfig
+
+#: Actions carried by a :class:`FaultEvent`.
+ACTION_FAIL = "fail"
+ACTION_RECOVER = "recover"
+ACTION_STALL_START = "stall_start"
+ACTION_STALL_END = "stall_end"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault transition.
+
+    ``node_id`` is ``-1`` for the cluster-wide stall actions.
+    """
+
+    time: float
+    action: str
+    node_id: int = -1
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        # Recover before fail at the same instant: a scripted back-to-back
+        # crash (recover at t, next fail at t) must not fail a failed node.
+        order = {
+            ACTION_RECOVER: 0,
+            ACTION_STALL_END: 1,
+            ACTION_FAIL: 2,
+            ACTION_STALL_START: 3,
+        }
+        return (self.time, order[self.action], self.node_id)
+
+
+def _scripted_schedule(config: FaultConfig, n_nodes: int) -> List[FaultEvent]:
+    events: List[FaultEvent] = []
+    for fault in config.scripted:
+        if fault.kind == "crash":
+            if not (0 <= fault.node_id < n_nodes):
+                raise ValueError(
+                    f"scripted crash targets node {fault.node_id} but the "
+                    f"cluster has {n_nodes} nodes"
+                )
+            events.append(FaultEvent(fault.time, ACTION_FAIL, fault.node_id))
+            events.append(
+                FaultEvent(fault.time + fault.duration, ACTION_RECOVER, fault.node_id)
+            )
+        else:  # "stall" (validated by ScriptedFault)
+            events.append(FaultEvent(fault.time, ACTION_STALL_START))
+            events.append(
+                FaultEvent(fault.time + fault.duration, ACTION_STALL_END)
+            )
+    return events
+
+
+def build_fault_schedule(
+    config: FaultConfig,
+    n_nodes: int,
+    streams: RandomStreams,
+    horizon: float,
+) -> List[FaultEvent]:
+    """The full fault-event schedule for one run, sorted for injection.
+
+    Only events *starting* before ``horizon`` are generated; a recovery
+    (or stall end) falling past the horizon is still included so open
+    down/stall stretches are explicit in the schedule — the engine simply
+    never dispatches it, and the injector's ``finalize`` accounts the
+    open stretch.
+    """
+    if config.scripted:
+        events = _scripted_schedule(config, n_nodes)
+    else:
+        events = []
+        if config.node_mtbf > 0:
+            for node_id in range(n_nodes):
+                gen = streams.get(f"faults.node{node_id}")
+                t = 0.0
+                while True:
+                    t += float(gen.exponential(config.node_mtbf))
+                    if t >= horizon:
+                        break
+                    events.append(FaultEvent(t, ACTION_FAIL, node_id))
+                    t += float(gen.exponential(config.node_mttr))
+                    events.append(FaultEvent(t, ACTION_RECOVER, node_id))
+                    if t >= horizon:
+                        break
+        if config.stall_interval > 0:
+            gen = streams.get("faults.tertiary")
+            t = 0.0
+            while True:
+                t += float(gen.exponential(config.stall_interval))
+                if t >= horizon:
+                    break
+                events.append(FaultEvent(t, ACTION_STALL_START))
+                t += float(gen.exponential(config.stall_duration))
+                events.append(FaultEvent(t, ACTION_STALL_END))
+                if t >= horizon:
+                    break
+    events.sort(key=FaultEvent.sort_key)
+    return events

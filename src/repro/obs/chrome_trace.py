@@ -95,6 +95,13 @@ def chrome_trace_events(recorder: TraceRecorder) -> List[Dict[str, Any]]:
         kinds.JOB_PROMOTE: "fairness promotion",
         kinds.CACHE_EVICT: "cache evict",
         kinds.SUBJOB_PREEMPT: "preempt for cached",
+        kinds.NODE_FAIL: "node fail",
+        kinds.NODE_RECOVER: "node recover",
+        kinds.SUBJOB_ABORT: "subjob abort",
+        kinds.FAULT_RETRY: "fault retry",
+        kinds.FAULT_GIVEUP: "fault giveup",
+        kinds.STALL_START: "tertiary stall start",
+        kinds.STALL_END: "tertiary stall end",
     }
     for event in recorder.events:
         label = _INSTANTS.get(event.kind)

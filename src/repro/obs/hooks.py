@@ -62,6 +62,15 @@ class kinds:
     NODE_BUSY = "node.busy"
     NODE_IDLE = "node.idle"
 
+    # -- faults (repro.faults) ------------------------------------------------
+    NODE_FAIL = "fault.node_fail"
+    NODE_RECOVER = "fault.node_recover"
+    SUBJOB_ABORT = "fault.subjob_abort"  # running chunk lost to a crash
+    FAULT_RETRY = "fault.retry"  # aborted subjob re-dispatched
+    FAULT_GIVEUP = "fault.giveup"  # retry budget exhausted
+    STALL_START = "fault.stall_start"  # tertiary storage degraded
+    STALL_END = "fault.stall_end"
+
     # -- scheduler machinery ---------------------------------------------------
     SCHED_PERIOD = "sched.period"
     SCHED_META = "sched.meta"  # meta-subjob coalesced over a stripe

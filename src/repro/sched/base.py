@@ -101,6 +101,44 @@ class SchedulerPolicy(ABC):
     def on_job_end(self, node: Node, job: Job, subjob: Subjob) -> None:
         """``subjob`` finished on ``node`` and completed ``job``."""
 
+    # -- fault notifications (repro.faults) ---------------------------------
+
+    def on_node_failed(self, node: Node, aborted: Optional[Subjob]) -> None:
+        """``node`` crashed; ``aborted`` is its interrupted subjob, if any.
+
+        Called *after* the node entered the failed state (the aborted
+        subjob is SUSPENDED and owned by the recovery manager — policies
+        must not restart it here; it comes back via the retry path).
+        The default drops any policy-internal queue state targeting the
+        dead node; policies with per-node queues override.
+        """
+
+    def on_node_recovered(self, node: Node) -> None:
+        """``node`` came back up, idle and (unless wiped) with its cache.
+
+        Default: no action — work reaches the node through the normal
+        completion/arrival flow.  Policies that only feed nodes on their
+        own events should override and feed the node here.
+        """
+
+    def pick_retry_node(self, subjob: Subjob) -> Optional[Node]:
+        """Choose an idle node to re-dispatch an aborted subjob onto.
+
+        Default: the idle node with the most of the subjob's *remaining*
+        data cached, ties broken by lowest node id — cache-preserving for
+        cache-aware policies and naturally first-idle for cache-less ones
+        (their node caches never hold anything).  ``None`` = no idle node;
+        the recovery manager re-offers the subjob on the next drain point.
+        """
+        best: Optional[Node] = None
+        best_key: Tuple[int, int] = (-1, 1)
+        for node in self.cluster.idle_nodes():
+            key = (node.cache.cached_events(subjob.remaining), -node.node_id)
+            if key > best_key:
+                best_key = key
+                best = node
+        return best
+
     # -- reporting ----------------------------------------------------------------
 
     def describe(self) -> Dict[str, object]:
@@ -151,9 +189,10 @@ class SchedulerPolicy(ABC):
 
     def start_on(self, node: Node, subjob: Subjob) -> None:
         """Start ``subjob`` on ``node`` (thin, assert-friendly wrapper)."""
-        if node.busy:
+        if not node.idle:
             raise SchedulingError(
-                f"{self.name}: node {node.node_id} already busy"
+                f"{self.name}: node {node.node_id} not idle "
+                f"(busy={node.busy}, failed={node.failed})"
             )
         node.start(subjob)
 
@@ -254,6 +293,8 @@ def split_interval_by_caches(
     for node in cluster:
         if not unclaimed:
             break
+        if node.failed:
+            continue  # a dead node's cache must not attract placements
         parts = node.cache.cached_parts(segment).intersection(unclaimed)
         for part in parts:
             claims.append((part, node))

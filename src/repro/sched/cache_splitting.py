@@ -56,7 +56,7 @@ class CacheOrientedSplittingPolicy(SchedulerPolicy):
     # -- subjob end (Table 2, "Upon subjob end") ---------------------------------------
 
     def on_subjob_end(self, node: Node, subjob: Subjob) -> None:
-        if node.busy:
+        if not node.idle:
             return
         job = subjob.job
         # 1. Same job first: the waiting subjob with the most data cached
@@ -74,12 +74,16 @@ class CacheOrientedSplittingPolicy(SchedulerPolicy):
     def on_job_end(self, node: Node, job: Job, subjob: Subjob) -> None:
         if job in self.running_jobs:
             self.running_jobs.remove(job)
-        if node.busy:
+        if not node.idle:
             return
         if self.queue:
             self._start_job(self.queue.popleft(), [node])
             return
         self._feed_idle_node(node)
+
+    def on_node_recovered(self, node: Node) -> None:
+        if node.idle:
+            self._feed_idle_node(node)
 
     # -- internals -------------------------------------------------------------------------
 

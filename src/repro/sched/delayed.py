@@ -148,6 +148,40 @@ class DelayedPolicy(SchedulerPolicy):
             for other in self.cluster.idle_nodes():
                 self._feed_node(other)
 
+    # -- faults -----------------------------------------------------------------------
+
+    def on_node_failed(self, node: Node, aborted: Optional[Subjob]) -> None:
+        """Reassign the dead node's queue to the surviving node caching
+        the most of it (its cache is gone from the placement's point of
+        view); fall back to the lowest-id up node."""
+        own = self.node_queues[node.node_id]
+        if not own:
+            return
+        displaced, own[:] = list(own), []
+        for subjob in displaced:
+            target: Optional[Node] = None
+            best_cached = 0
+            for other in self.cluster:
+                if other.failed or other is node:
+                    continue
+                if target is None:
+                    target = other  # lowest-id fallback
+                cached = other.cache.cached_events(subjob.remaining)
+                if cached > best_cached:
+                    best_cached = cached
+                    target = other
+            if target is None:
+                own.append(subjob)  # whole cluster down; keep it here
+                continue
+            subjob.origin = ("node", target.node_id)
+            self.node_queues[target.node_id].append(subjob)
+        for idle_node in self.cluster.idle_nodes():
+            self._feed_node(idle_node)
+
+    def on_node_recovered(self, node: Node) -> None:
+        if node.idle:
+            self._feed_node(node)
+
     # -- period machinery ------------------------------------------------------------
 
     def _on_period_boundary(self) -> None:
@@ -300,7 +334,7 @@ class DelayedPolicy(SchedulerPolicy):
         return front
 
     def _feed_node(self, node: Node) -> None:
-        if node.busy:
+        if not node.idle:
             return
         front = self._front_jobs()
         own = self.node_queues[node.node_id]

@@ -50,6 +50,12 @@ class ProcessingFarmPolicy(SchedulerPolicy):
         if self.queue and node.idle:
             self._run_whole_job(node, self.queue.popleft())
 
+    def on_node_recovered(self, node: Node) -> None:
+        # The farm only dispatches on arrivals and completions; a node
+        # coming back up is a third dispatch opportunity.
+        if self.queue and node.idle:
+            self._run_whole_job(node, self.queue.popleft())
+
     # -- internals ----------------------------------------------------------------
 
     def _run_whole_job(self, node: Node, job: Job) -> None:

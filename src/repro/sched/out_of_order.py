@@ -133,10 +133,28 @@ class OutOfOrderPolicy(SchedulerPolicy):
         if node.idle:
             self._feed_node(node)
 
+    # -- faults ------------------------------------------------------------------------
+
+    def on_node_failed(self, node: Node, aborted: Optional[Subjob]) -> None:
+        """Re-home the dead node's private queue: its cache is unreachable,
+        so the queued subjobs are effectively no-cached-data work now."""
+        own = self.node_queues[node.node_id]
+        while own:
+            subjob = own.popleft()
+            subjob.origin = _NOCACHE
+            self.nocache_queue.append(subjob)
+            self._arm_fairness(subjob.job)
+        for idle_node in self.cluster.idle_nodes():
+            self._feed_node(idle_node)
+
+    def on_node_recovered(self, node: Node) -> None:
+        if node.idle:
+            self._feed_node(node)
+
     # -- node feeding (Table 3, "Whenever nodes become available") ---------------------
 
     def _feed_node(self, node: Node) -> None:
-        if node.busy:
+        if not node.idle:
             return
         # 1. Fairness-promoted jobs first.
         while self.priority_jobs:

@@ -58,8 +58,8 @@ class JobSplittingPolicy(SchedulerPolicy):
     # -- subjob end, job continues (Table 1, "Upon subjob end") ---------------------
 
     def on_subjob_end(self, node: Node, subjob: Subjob) -> None:
-        if node.busy:
-            return  # deferred completion; the node was already re-assigned
+        if not node.idle:
+            return  # deferred completion (re-assigned) or node crashed
         job = subjob.job
         suspended = job.suspended_subjobs()
         if suspended:
@@ -74,7 +74,7 @@ class JobSplittingPolicy(SchedulerPolicy):
     def on_job_end(self, node: Node, job: Job, subjob: Subjob) -> None:
         if job in self.running_jobs:
             self.running_jobs.remove(job)
-        if node.busy:
+        if not node.idle:
             return
         if self.queue:
             next_job = self.queue.popleft()
@@ -82,6 +82,10 @@ class JobSplittingPolicy(SchedulerPolicy):
             self.start_on(node, next_job.make_root_subjob())
             return
         self._feed_idle_node(node)
+
+    def on_node_recovered(self, node: Node) -> None:
+        if node.idle:
+            self._feed_idle_node(node)
 
     # -- internals ----------------------------------------------------------------------
 

@@ -22,6 +22,105 @@ from ..workload.distributions import (
 
 
 @dataclass(frozen=True)
+class ScriptedFault:
+    """One trace-driven fault for deterministic tests and replays.
+
+    ``kind`` is ``"crash"`` (node ``node_id`` fails at ``time`` and
+    recovers ``duration`` seconds later) or ``"stall"`` (tertiary storage
+    degrades cluster-wide for ``duration`` seconds; ``node_id`` ignored).
+    """
+
+    time: float
+    duration: float
+    kind: str = "crash"
+    node_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "stall"):
+            raise ConfigurationError(
+                f"fault kind must be 'crash' or 'stall', got {self.kind!r}"
+            )
+        if self.time < 0:
+            raise ConfigurationError(f"fault time must be >= 0, got {self.time}")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"fault duration must be > 0, got {self.duration}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection parameters (the ``repro.faults`` subsystem).
+
+    Node crashes follow independent per-node alternating renewal
+    processes: up times ~ Exp(``node_mtbf``), down times ~ Exp(``node_mttr``)
+    drawn from the ``faults.node<i>`` RNG streams.  Tertiary stalls are a
+    cluster-wide process from the ``faults.tertiary`` stream: gaps ~
+    Exp(``stall_interval``), durations ~ Exp(``stall_duration``), during
+    which tertiary reads slow down by ``stall_slowdown``.  ``scripted``
+    faults replace the stochastic processes entirely (trace-driven tests).
+
+    Recovery: an aborted subjob is retried after an exponential backoff
+    ``retry_backoff_base * retry_backoff_factor**(attempt-1)`` capped at
+    ``retry_backoff_max``; ``max_retries = 0`` means unlimited.
+    """
+
+    #: Mean time between failures per node (0 disables crashes).
+    node_mtbf: float = 1 * units.DAY
+    #: Mean time to repair per node.
+    node_mttr: float = 2 * units.HOUR
+    #: Whether a crash loses the node's disk cache contents.
+    wipe_cache_on_failure: bool = False
+    #: Mean time between tertiary stalls (0 disables stalls).
+    stall_interval: float = 0.0
+    #: Mean stall duration.
+    stall_duration: float = 10 * units.MINUTE
+    #: Per-event time multiplier for tertiary reads during a stall.
+    stall_slowdown: float = 4.0
+    #: First retry delay after an abort.
+    retry_backoff_base: float = 60.0
+    #: Backoff growth factor per failed attempt.
+    retry_backoff_factor: float = 2.0
+    #: Backoff ceiling.
+    retry_backoff_max: float = 1 * units.HOUR
+    #: Retry budget per subjob (0 = unlimited).
+    max_retries: int = 0
+    #: Trace-driven faults; non-empty disables the stochastic processes.
+    scripted: Tuple[ScriptedFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf < 0 or self.node_mttr <= 0:
+            raise ConfigurationError(
+                f"need node_mtbf >= 0 and node_mttr > 0, got "
+                f"mtbf={self.node_mtbf}, mttr={self.node_mttr}"
+            )
+        if self.stall_interval < 0 or self.stall_duration <= 0:
+            raise ConfigurationError(
+                f"need stall_interval >= 0 and stall_duration > 0, got "
+                f"interval={self.stall_interval}, duration={self.stall_duration}"
+            )
+        if self.stall_slowdown < 1.0:
+            raise ConfigurationError(
+                f"stall_slowdown must be >= 1.0, got {self.stall_slowdown}"
+            )
+        if self.retry_backoff_base <= 0 or self.retry_backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"need retry_backoff_base > 0 and retry_backoff_factor >= 1, "
+                f"got base={self.retry_backoff_base}, "
+                f"factor={self.retry_backoff_factor}"
+            )
+        if self.retry_backoff_max < self.retry_backoff_base:
+            raise ConfigurationError(
+                "retry_backoff_max must be >= retry_backoff_base "
+                f"({self.retry_backoff_max} < {self.retry_backoff_base})"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """All parameters of one simulation run.
 
@@ -70,6 +169,10 @@ class SimulationConfig:
     duration: float = 40 * units.DAY
     warmup_fraction: float = 0.25
     probe_interval: float = 2 * units.HOUR
+
+    # -- fault injection --------------------------------------------------------
+    #: ``None`` simulates the paper's implicitly perfect cluster.
+    faults: Optional[FaultConfig] = None
 
     # -- validation -------------------------------------------------------------------
 

@@ -23,7 +23,8 @@ PathLike = Union[str, Path]
 #: Summary-JSON schema version.  Bump when keys are added, removed or
 #: change meaning.  Version 2 added ``schema_version`` itself plus the
 #: guarantee that ``policy_stats`` and ``events_by_source`` are present.
-SCHEMA_VERSION = 2
+#: Version 3 added the ``faults`` object (``None`` on fault-free runs).
+SCHEMA_VERSION = 3
 
 #: Keys every version-2 summary must carry.
 _REQUIRED_SUMMARY_KEYS = (
@@ -125,6 +126,7 @@ def result_summary_dict(result: SimulationResult) -> dict:
         "events_by_source": dict(result.events_by_source),
         "engine_events": result.engine_events,
         "wall_seconds": result.wall_seconds,
+        "faults": result.faults.as_dict() if result.faults is not None else None,
     }
 
 
@@ -155,6 +157,7 @@ def load_result_json(path: PathLike) -> dict:
         )
     summary.setdefault("policy_stats", {})
     summary.setdefault("events_by_source", {})
+    summary.setdefault("faults", None)  # pre-v3 files: no fault injection
     missing = [key for key in _REQUIRED_SUMMARY_KEYS if key not in summary]
     if missing:
         raise ValueError(f"{path}: summary is missing keys {missing}")

@@ -64,6 +64,44 @@ class JobRecord:
         return self.reference_time / self.processing_time
 
 
+@dataclass(frozen=True)
+class FaultSummary:
+    """Aggregate fault/recovery accounting of one run (repro.faults).
+
+    ``goodput`` is the fraction of compute time that produced credited
+    events: ``busy / (busy + lost)`` (1.0 on a fault-free run).
+    ``degraded_makespan`` is the completion time of the last job that
+    finished — under faults, the tail directly shows recovery cost.
+    """
+
+    failures: int = 0
+    stalls: int = 0
+    subjobs_aborted: int = 0
+    retries: int = 0
+    giveups: int = 0
+    lost_events: int = 0
+    lost_seconds: float = 0.0
+    downtime_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    goodput: float = 1.0
+    degraded_makespan: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "failures": self.failures,
+            "stalls": self.stalls,
+            "subjobs_aborted": self.subjobs_aborted,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "lost_events": self.lost_events,
+            "lost_seconds": self.lost_seconds,
+            "downtime_seconds": self.downtime_seconds,
+            "stall_seconds": self.stall_seconds,
+            "goodput": self.goodput,
+            "degraded_makespan": self.degraded_makespan,
+        }
+
+
 @dataclass
 class BacklogSample:
     """One probe of the system backlog."""

@@ -28,7 +28,7 @@ a message naming the component, the simulated time and the broken law.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable
+from typing import TYPE_CHECKING, Dict, Iterable, Set
 
 from ..core.errors import InvariantViolation, SchedulingError
 from ..workload.jobs import Job, Subjob, SubjobState
@@ -51,6 +51,8 @@ class InvariantChecker:
     def __init__(self) -> None:
         #: sid -> node_id for every subjob currently RUNNING somewhere.
         self._running: Dict[str, int] = {}
+        #: node_ids currently failed (repro.faults crash injection).
+        self._down: Set[int] = set()
         #: Lifetime counter, reported in logs/tests.
         self.checks_run = 0
 
@@ -81,6 +83,10 @@ class InvariantChecker:
                 f"node {node.node_id} starting subjob {sid} while busy "
                 f"with {node.current.sid}"
             )
+        if node.node_id in self._down:
+            raise InvariantViolation(
+                f"node {node.node_id} starting subjob {sid} while failed"
+            )
         self._running[sid] = node.node_id
 
     def on_subjob_suspend(self, node: "Node", subjob: Subjob) -> None:
@@ -99,6 +105,40 @@ class InvariantChecker:
                 f"subjob {subjob.sid} finished with {subjob.processed}/"
                 f"{subjob.segment.length} events processed"
             )
+
+    def on_subjob_abort(self, node: "Node", subjob: Subjob) -> None:
+        """Called by a node when a crash aborts its running subjob."""
+        self.checks_run += 1
+        self._expect_running_here(node, subjob, "abort")
+        del self._running[subjob.sid]
+
+    def on_node_failed(self, node: "Node") -> None:
+        """Called by a node entering the failed state."""
+        self.checks_run += 1
+        node_id = node.node_id
+        if node_id in self._down:
+            raise InvariantViolation(f"node {node_id} failed twice")
+        if node.current is not None:
+            raise InvariantViolation(
+                f"node {node_id} declared failed while still running "
+                f"{node.current.sid}"
+            )
+        for sid, holder in self._running.items():
+            if holder == node_id:
+                raise InvariantViolation(
+                    f"node {node_id} declared failed but subjob {sid} is "
+                    "still registered as running there"
+                )
+        self._down.add(node_id)
+
+    def on_node_recovered(self, node: "Node") -> None:
+        """Called by a node leaving the failed state."""
+        self.checks_run += 1
+        if node.node_id not in self._down:
+            raise InvariantViolation(
+                f"node {node.node_id} recovered without being failed"
+            )
+        self._down.discard(node.node_id)
 
     def _expect_running_here(
         self, node: "Node", subjob: Subjob, action: str
@@ -134,6 +174,15 @@ class InvariantChecker:
                 raise InvariantViolation(
                     f"node {node.node_id} runs {current.sid} but the "
                     "assignment registry disagrees"
+                )
+            if node.failed != (node.node_id in self._down):
+                raise InvariantViolation(
+                    f"node {node.node_id} failed flag ({node.failed}) "
+                    "disagrees with the fault registry"
+                )
+            if node.failed and current is not None:
+                raise InvariantViolation(
+                    f"failed node {node.node_id} is executing {current.sid}"
                 )
         running_sids = {
             node.current.sid for node in cluster if node.current is not None

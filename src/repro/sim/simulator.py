@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
 
 from ..core import units
 from ..core.clock import wall_clock
@@ -27,7 +30,7 @@ from ..sched.base import SchedulerContext, SchedulerPolicy, create_policy
 from ..workload.generator import WorkloadGenerator
 from ..workload.jobs import Job, JobRequest, Subjob
 from .config import SimulationConfig
-from .metrics import JobRecord, MetricsCollector, PerformanceSummary
+from .metrics import FaultSummary, JobRecord, MetricsCollector, PerformanceSummary
 from .overload import OverloadVerdict, analyse_backlog
 from .sanitizer import InvariantChecker
 
@@ -52,6 +55,8 @@ class SimulationResult:
     events_by_source: Dict[str, int]
     engine_events: int
     wall_seconds: float
+    #: Fault/recovery accounting; ``None`` when fault injection was off.
+    faults: Optional[FaultSummary] = None
 
     # -- convenience accessors used by the figure harness ------------------------
 
@@ -157,6 +162,20 @@ class Simulation:
                 obs=self.obs,
             )
         )
+        #: Fault injection (repro.faults); ``None`` = perfect cluster.
+        self.injector: Optional["FaultInjector"] = None
+        if config.faults is not None:
+            from ..faults.injector import FaultInjector
+
+            self.injector = FaultInjector(
+                engine=self.engine,
+                cluster=self.cluster,
+                policy=policy,
+                config=config.faults,
+                streams=self.streams,
+                horizon=config.duration,
+                obs=self.obs,
+            )
 
     # -- wiring ---------------------------------------------------------------
 
@@ -189,7 +208,8 @@ class Simulation:
 
     def _on_subjob_complete(self, node: Node, subjob: Subjob) -> None:
         job = subjob.job
-        if job.maybe_complete(self.engine.now):
+        completed = job.maybe_complete(self.engine.now)
+        if completed:
             self.metrics.on_completion(job)
             if self.obs.enabled:
                 self.obs.emit(
@@ -201,6 +221,12 @@ class Simulation:
                     waited=job.waiting_time,
                     processed=job.processing_time,
                 )
+        if self.injector is not None:
+            # Due retries get first claim on the freed node; the policy
+            # handler below then sees it busy and skips (the documented
+            # deferred-completion pattern).
+            self.injector.on_completion(node)
+        if completed:
             self.policy.on_job_end(node, job, subjob)
         else:
             self.policy.on_subjob_end(node, subjob)
@@ -236,6 +262,8 @@ class Simulation:
                 priority=EventPriority.ARRIVAL,
                 label=f"arrival:{request.job_id}",
             )
+        if self.injector is not None:
+            self.injector.prime()
         self.engine.call_at(0.0, self._probe, priority=EventPriority.PROBE)
 
     def run(self) -> SimulationResult:
@@ -274,6 +302,14 @@ class Simulation:
         for node in self.cluster:
             for source, count in node.stats.events_by_source.items():
                 events_by_source[source.value] += count
+        fault_summary: Optional[FaultSummary] = None
+        if self.injector is not None:
+            self.injector.finalize()
+            fault_summary = self.injector.summary(
+                degraded_makespan=max(
+                    (r.completion for r in self.metrics.records), default=0.0
+                )
+            )
         return SimulationResult(
             config=config,
             policy_name=self.policy.name,
@@ -291,6 +327,7 @@ class Simulation:
             events_by_source=events_by_source,
             engine_events=self.engine.stats.dispatched,
             wall_seconds=wall_seconds,
+            faults=fault_summary,
         )
 
 

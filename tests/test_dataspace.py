@@ -60,6 +60,26 @@ class TestTertiaryStorage:
         assert storage.distinct_events_read == 100
         assert storage.redundancy_factor == pytest.approx(2.0)
 
+    def test_unique_fraction_tracks_fresh_reads(self, dataspace):
+        # Regression: unique_fraction used to return a constant 0.0/1.0
+        # instead of distinct/total.
+        storage = TertiaryStorage(dataspace)
+        assert storage.stats.unique_fraction == 0.0
+        storage.read(0, Interval(0, 100))
+        assert storage.stats.unique_fraction == pytest.approx(1.0)
+        storage.read(1, Interval(0, 100))  # full re-read: nothing fresh
+        assert storage.stats.distinct_events_read == 100
+        assert storage.stats.unique_fraction == pytest.approx(0.5)
+        storage.read(0, Interval(50, 150))  # half fresh, half re-read
+        assert storage.stats.distinct_events_read == 150
+        assert storage.stats.unique_fraction == pytest.approx(150 / 300)
+        # The incremental counter matches the interval-set ground truth
+        # and the redundancy factor stays its exact inverse.
+        assert storage.stats.distinct_events_read == storage._distinct.measure()
+        assert storage.stats.unique_fraction == pytest.approx(
+            1.0 / storage.redundancy_factor
+        )
+
     def test_empty_read_ignored(self, dataspace):
         storage = TertiaryStorage(dataspace)
         storage.read(0, Interval(5, 5))

@@ -1,0 +1,412 @@
+"""Tests for the fault-injection subsystem (repro.faults).
+
+Covers the failure processes (schedule determinism, horizon handling,
+scripted traces), the retry/backoff recovery policy, scripted injection
+through a live simulation under the sim-sanitizer, and bit-deterministic
+replay of stochastic faulted runs.
+"""
+
+import pytest
+
+from repro.core import units
+from repro.core.engine import Engine
+from repro.core.rng import RandomStreams
+from repro.faults import FaultEvent, RecoveryManager, backoff_delay, build_fault_schedule
+from repro.faults.processes import (
+    ACTION_FAIL,
+    ACTION_RECOVER,
+    ACTION_STALL_END,
+    ACTION_STALL_START,
+)
+from repro.sched.base import create_policy
+from repro.sim.config import FaultConfig, ScriptedFault, quick_config
+from repro.sim.export import result_summary_dict
+from repro.sim.simulator import Simulation, run_simulation
+from repro.workload.jobs import SubjobState
+
+from .helpers import make_subjob
+from .policy_helpers import micro_config, trace
+
+
+def _checked_sim(policy, requests, config):
+    """A Simulation with the sim-sanitizer enabled."""
+    return Simulation(
+        config, create_policy(policy), trace=requests, check_invariants=True
+    )
+
+
+# ---------------------------------------------------------------------------
+# backoff
+
+
+class TestBackoffDelay:
+    def test_exponential_schedule(self):
+        config = FaultConfig(
+            retry_backoff_base=60.0,
+            retry_backoff_factor=2.0,
+            retry_backoff_max=1 * units.HOUR,
+        )
+        assert backoff_delay(1, config) == pytest.approx(60.0)
+        assert backoff_delay(2, config) == pytest.approx(120.0)
+        assert backoff_delay(3, config) == pytest.approx(240.0)
+        assert backoff_delay(6, config) == pytest.approx(1920.0)
+        # attempt 7 would be 3840 s; the 1 h ceiling kicks in.
+        assert backoff_delay(7, config) == pytest.approx(3600.0)
+        assert backoff_delay(50, config) == pytest.approx(3600.0)
+
+    def test_flat_schedule_with_factor_one(self):
+        config = FaultConfig(retry_backoff_base=30.0, retry_backoff_factor=1.0)
+        assert backoff_delay(1, config) == backoff_delay(10, config) == 30.0
+
+    def test_invalid_attempt_raises(self):
+        with pytest.raises(ValueError):
+            backoff_delay(0, FaultConfig())
+
+
+# ---------------------------------------------------------------------------
+# failure processes
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_schedule(self):
+        config = FaultConfig(node_mtbf=6 * units.HOUR, node_mttr=units.HOUR)
+        horizon = 10 * units.DAY
+        first = build_fault_schedule(config, 4, RandomStreams(11), horizon)
+        second = build_fault_schedule(config, 4, RandomStreams(11), horizon)
+        other = build_fault_schedule(config, 4, RandomStreams(12), horizon)
+        assert first == second
+        assert first != other
+        assert first  # 4 nodes x 10 days at 6 h MTBF: certainly non-empty
+
+    def test_alternating_renewal_per_node(self):
+        config = FaultConfig(node_mtbf=6 * units.HOUR, node_mttr=units.HOUR)
+        schedule = build_fault_schedule(
+            config, 3, RandomStreams(3), 20 * units.DAY
+        )
+        for node_id in range(3):
+            actions = [e.action for e in schedule if e.node_id == node_id]
+            # Strictly alternating fail/recover, starting with a failure.
+            assert actions[::2] == [ACTION_FAIL] * len(actions[::2])
+            assert actions[1::2] == [ACTION_RECOVER] * len(actions[1::2])
+            times = [e.time for e in schedule if e.node_id == node_id]
+            assert times == sorted(times)
+
+    def test_horizon_rule(self):
+        config = FaultConfig(node_mtbf=6 * units.HOUR, node_mttr=units.HOUR)
+        horizon = 5 * units.DAY
+        schedule = build_fault_schedule(config, 2, RandomStreams(0), horizon)
+        # No fault *starts* at/after the horizon; the recovery paired with
+        # a late crash may legitimately fall past it (open downtime).
+        assert all(
+            e.time < horizon
+            for e in schedule
+            if e.action in (ACTION_FAIL, ACTION_STALL_START)
+        )
+
+    def test_zero_mtbf_disables_crashes(self):
+        config = FaultConfig(node_mtbf=0.0, node_mttr=units.HOUR)
+        assert build_fault_schedule(config, 4, RandomStreams(0), units.DAY) == []
+
+    def test_scripted_replaces_stochastic(self):
+        config = FaultConfig(
+            node_mtbf=units.HOUR,  # would generate many crashes...
+            scripted=(ScriptedFault(time=50.0, duration=25.0, node_id=1),),
+        )
+        schedule = build_fault_schedule(config, 2, RandomStreams(0), units.DAY)
+        assert schedule == [
+            FaultEvent(50.0, ACTION_FAIL, 1),
+            FaultEvent(75.0, ACTION_RECOVER, 1),
+        ]
+
+    def test_scripted_stall_events(self):
+        config = FaultConfig(
+            scripted=(ScriptedFault(time=10.0, duration=5.0, kind="stall"),)
+        )
+        schedule = build_fault_schedule(config, 2, RandomStreams(0), units.DAY)
+        assert schedule == [
+            FaultEvent(10.0, ACTION_STALL_START),
+            FaultEvent(15.0, ACTION_STALL_END),
+        ]
+
+    def test_scripted_crash_out_of_range_raises(self):
+        config = FaultConfig(
+            scripted=(ScriptedFault(time=10.0, duration=5.0, node_id=7),)
+        )
+        with pytest.raises(ValueError):
+            build_fault_schedule(config, 2, RandomStreams(0), units.DAY)
+
+    def test_recover_sorts_before_fail_at_same_instant(self):
+        # Back-to-back scripted crashes: recover at t and the next fail at
+        # the same t must apply recover first.
+        config = FaultConfig(
+            scripted=(
+                ScriptedFault(time=10.0, duration=10.0, node_id=0),
+                ScriptedFault(time=20.0, duration=10.0, node_id=0),
+            )
+        )
+        schedule = build_fault_schedule(config, 1, RandomStreams(0), units.DAY)
+        at_twenty = [e.action for e in schedule if e.time == 20.0]
+        assert at_twenty == [ACTION_RECOVER, ACTION_FAIL]
+
+
+# ---------------------------------------------------------------------------
+# recovery manager (unit level, stub policy)
+
+
+class _FakeNode:
+    def __init__(self, node_id: int = 0) -> None:
+        self.node_id = node_id
+
+
+class _StubPolicy:
+    """Minimal policy surface the RecoveryManager interacts with."""
+
+    def __init__(self) -> None:
+        self.node = None
+        self.started = []
+
+    def pick_retry_node(self, subjob):
+        return self.node
+
+    def start_on(self, node, subjob):
+        subjob.state = SubjobState.RUNNING
+        self.started.append((node.node_id, subjob.sid))
+
+
+class TestRecoveryManager:
+    def _manager(self, **config_overrides):
+        engine = Engine()
+        policy = _StubPolicy()
+        manager = RecoveryManager(engine, policy, FaultConfig(**config_overrides))
+        return engine, policy, manager
+
+    def test_retry_waits_for_backoff_then_dispatches(self):
+        engine, policy, manager = self._manager(retry_backoff_base=60.0)
+        subjob = make_subjob(0, 100)
+        subjob.state = SubjobState.SUSPENDED
+        policy.node = _FakeNode(1)
+        manager.add(subjob)
+        assert manager.pending == 1
+        assert manager.drain() == 0  # not due yet
+        engine.run(until=59.0)
+        assert policy.started == []
+        engine.run(until=61.0)  # backoff timer fires at t=60
+        assert policy.started == [(1, subjob.sid)]
+        assert manager.pending == 0
+        assert manager.stats_retries == 1
+
+    def test_no_idle_node_keeps_entry_for_next_drain(self):
+        engine, policy, manager = self._manager(retry_backoff_base=60.0)
+        subjob = make_subjob(0, 100)
+        subjob.state = SubjobState.SUSPENDED
+        policy.node = None  # whole cluster busy/down
+        manager.add(subjob)
+        engine.run(until=120.0)
+        assert manager.pending == 1  # still waiting for a node
+        policy.node = _FakeNode(0)
+        assert manager.drain() == 1
+        assert manager.pending == 0
+
+    def test_stale_entry_dropped_when_policy_already_resumed(self):
+        engine, policy, manager = self._manager(retry_backoff_base=60.0)
+        subjob = make_subjob(0, 100)
+        subjob.state = SubjobState.SUSPENDED
+        policy.node = _FakeNode(0)
+        manager.add(subjob)
+        # The policy resumed the subjob through its own suspended-work
+        # path before the backoff fired.
+        subjob.state = SubjobState.RUNNING
+        engine.run(until=120.0)
+        assert policy.started == []
+        assert manager.pending == 0
+        assert manager.stats_retries == 0
+
+    def test_give_up_after_max_retries(self):
+        engine, policy, manager = self._manager(
+            retry_backoff_base=60.0, max_retries=1
+        )
+        subjob = make_subjob(0, 100)
+        subjob.state = SubjobState.SUSPENDED
+        manager.add(subjob)  # attempt 1: admitted
+        assert manager.pending == 1
+        manager.add(subjob)  # attempt 2 > max_retries: dropped
+        assert manager.pending == 1
+        assert manager.stats_giveups == 1
+
+    def test_backoff_grows_with_repeated_aborts(self):
+        engine, policy, manager = self._manager(
+            retry_backoff_base=60.0, retry_backoff_factor=2.0
+        )
+        subjob = make_subjob(0, 100)
+        subjob.state = SubjobState.SUSPENDED
+        manager.add(subjob)
+        assert manager._backlog[0].due == pytest.approx(60.0)
+        manager._backlog.clear()  # simulate dispatch + re-abort
+        manager.add(subjob)
+        assert manager._backlog[0].due == pytest.approx(120.0)
+
+
+# ---------------------------------------------------------------------------
+# scripted injection through a live simulation
+
+
+def _scripted_config(*scripted, **fault_overrides):
+    faults = FaultConfig(scripted=tuple(scripted), **fault_overrides)
+    return micro_config(duration=2 * units.DAY, faults=faults)
+
+
+class TestScriptedInjection:
+    def test_crash_aborts_and_retry_completes_the_job(self):
+        # One 1000-event job lands at t=0; node 0 crashes mid-run.
+        sim = _checked_sim(
+            "farm",
+            trace((0.0, 0, 1000)),
+            _scripted_config(
+                ScriptedFault(time=100.0, duration=300.0, node_id=0),
+                retry_backoff_base=60.0,
+            ),
+        )
+        result = sim.run()
+        assert result.jobs_completed == 1
+        faults = result.faults
+        assert faults is not None
+        assert faults.failures == 1
+        assert faults.subjobs_aborted == 1
+        assert faults.retries == 1
+        assert faults.giveups == 0
+        # The partially processed chunk was thrown away...
+        assert faults.lost_events > 0
+        assert faults.lost_seconds == pytest.approx(100.0)
+        assert faults.downtime_seconds == pytest.approx(300.0)
+        assert faults.goodput < 1.0
+        # ...and the job finished later than the fault-free 800 s.
+        record = result.records[0]
+        assert record.completion > 1000 * 0.8
+
+    def test_crash_on_idle_node_only_costs_downtime(self):
+        sim = _checked_sim(
+            "farm",
+            trace((0.0, 0, 1000)),
+            _scripted_config(
+                ScriptedFault(time=100.0, duration=200.0, node_id=1),
+            ),
+        )
+        result = sim.run()
+        faults = result.faults
+        assert faults.failures == 1
+        assert faults.subjobs_aborted == 0
+        assert faults.retries == 0
+        assert faults.lost_events == 0
+        assert faults.downtime_seconds == pytest.approx(200.0)
+        # The busy node was untouched: exact fault-free completion time.
+        assert result.records[0].completion == pytest.approx(1000 * 0.8)
+
+    def test_cache_wipe_on_failure(self):
+        # The crash hits well after the job finished: with the default
+        # config the cached segments survive, with wipe they are gone.
+        scripted = ScriptedFault(time=2000.0, duration=100.0, node_id=0)
+        kept = _checked_sim(
+            "cache-splitting",
+            trace((0.0, 0, 1000)),
+            _scripted_config(scripted),
+        )
+        kept.run()
+        wiped = _checked_sim(
+            "cache-splitting",
+            trace((0.0, 0, 1000)),
+            _scripted_config(scripted, wipe_cache_on_failure=True),
+        )
+        wiped.run()
+        assert kept.cluster[0].cache.used_events > 0
+        assert wiped.cluster[0].cache.used_events == 0
+
+    def test_scripted_stall_slows_tertiary_reads(self):
+        # 1000 uncached events take 800 s; a stall covering the whole run
+        # at slowdown 4 stretches tertiary processing accordingly.
+        sim = _checked_sim(
+            "farm",
+            trace((0.0, 0, 1000)),
+            _scripted_config(
+                ScriptedFault(time=0.0, duration=units.DAY, kind="stall"),
+                stall_slowdown=4.0,
+            ),
+        )
+        result = sim.run()
+        assert result.faults.stalls == 1
+        assert result.faults.stall_seconds == pytest.approx(units.DAY)
+        assert result.records[0].completion == pytest.approx(1000 * 0.8 * 4.0)
+
+    def test_sanitizer_accepts_fail_recover_cycles_everywhere(self):
+        # A dense scripted schedule across both nodes under the deep
+        # checker: fail/recover transitions, aborts and retries all pass
+        # the sanitizer's state machine.
+        scripted = [
+            ScriptedFault(time=200.0 + 900.0 * i, duration=450.0, node_id=i % 2)
+            for i in range(8)
+        ]
+        sim = _checked_sim(
+            "cache-splitting",
+            trace(*[(i * 600.0, (i * 7000) % 60_000, 600) for i in range(20)]),
+            _scripted_config(*scripted, retry_backoff_base=30.0),
+        )
+        result = sim.run()
+        assert result.jobs_completed == 20
+        assert result.faults.failures == 8
+
+
+# ---------------------------------------------------------------------------
+# deterministic replay of stochastic faulted runs
+
+
+def _faulted_quick_config(seed=7):
+    return quick_config(
+        seed=seed,
+        duration=4 * units.DAY,
+        faults=FaultConfig(
+            node_mtbf=6 * units.HOUR,
+            node_mttr=30 * units.MINUTE,
+            stall_interval=1 * units.DAY,
+            stall_duration=20 * units.MINUTE,
+        ),
+    )
+
+
+def _comparable(result):
+    summary = result_summary_dict(result)
+    summary.pop("wall_seconds")  # the only wall-clock-dependent key
+    return summary
+
+
+class TestDeterministicReplay:
+    def test_same_seed_identical_metrics(self):
+        first = run_simulation(_faulted_quick_config(), "out-of-order")
+        second = run_simulation(_faulted_quick_config(), "out-of-order")
+        assert first.faults is not None and first.faults.failures > 0
+        assert _comparable(first) == _comparable(second)
+
+    def test_sanitizer_does_not_perturb_faulted_runs(self):
+        plain = run_simulation(_faulted_quick_config(), "out-of-order")
+        checked = run_simulation(
+            _faulted_quick_config(), "out-of-order", check_invariants=True
+        )
+        assert _comparable(plain) == _comparable(checked)
+
+    def test_fault_streams_leave_workload_untouched(self):
+        # Fault injection consumes only its own RNG streams: the faulted
+        # run sees the bit-identical workload of the fault-free run.
+        faulted = run_simulation(_faulted_quick_config(), "out-of-order")
+        fault_free = run_simulation(
+            quick_config(seed=7, duration=4 * units.DAY), "out-of-order"
+        )
+        assert faulted.jobs_arrived == fault_free.jobs_arrived
+        assert faulted.faults is not None and fault_free.faults is None
+        arrivals = lambda r: [rec.arrival_time for rec in r.records]  # noqa: E731
+        # Completed-job arrival times are a subset relationship in
+        # general; total arrivals and the first arrivals must agree.
+        assert arrivals(faulted)[:5] == arrivals(fault_free)[:5]
+
+    def test_identical_failure_schedule_across_policies(self):
+        farm = run_simulation(_faulted_quick_config(), "farm")
+        ooo = run_simulation(_faulted_quick_config(), "out-of-order")
+        assert farm.faults.failures == ooo.faults.failures
+        assert farm.faults.downtime_seconds == ooo.faults.downtime_seconds

@@ -182,6 +182,60 @@ class TestPreemption:
         _, node, _ = build_node(space)
         assert node.preempt() is None
 
+    def test_preempt_idle_node_is_free_of_side_effects(self, space):
+        engine, node, tertiary = build_node(space)
+        node.preempt()
+        node.preempt()  # idempotent: still nothing to suspend
+        assert node.stats.preemptions == 0
+        assert node.stats.busy_seconds == 0.0
+        assert node.idle
+        # The node is still perfectly usable afterwards.
+        subjob = make_subjob(0, 100)
+        node.on_subjob_complete = lambda n, s: None
+        node.start(subjob)
+        engine.run()
+        assert subjob.state is SubjobState.DONE
+
+    def test_preempt_exactly_between_chunks_loses_nothing(self, space):
+        engine, node, _ = build_node(space, chunk_events=100)
+        subjob = make_subjob(0, 300)
+        node.on_subjob_complete = lambda n, s: None
+        node.start(subjob)
+        # Chunk 1 (100 uncached events) completes at exactly t=80.0 and
+        # chunk 2 starts at the same instant with zero elapsed time.
+        engine.run(until=80.0)
+        suspended = node.preempt()
+        assert suspended is subjob
+        # Only whole finished chunks are credited; the freshly started
+        # chunk 2 contributes nothing and wastes nothing.
+        assert subjob.processed == 100
+        assert node.stats.busy_seconds == pytest.approx(80.0)
+        assert node.cache.covers(Interval(0, 100))
+        assert not node.cache.contains_point(100)
+
+    def test_preempt_stats_accounting_midway(self, space):
+        engine, node, _ = build_node(space, chunk_events=1000)
+        subjob = make_subjob(0, 1000)
+        node.on_subjob_complete = lambda n, s: None
+        node.start(subjob)
+        engine.run(until=80.4)  # 100.5 events of work elapsed
+        node.preempt()
+        # Only the 100 whole events are credited everywhere: busy time,
+        # processed counters and the per-source breakdown all agree.
+        assert node.stats.preemptions == 1
+        assert node.stats.events_processed == 100
+        assert node.stats.busy_seconds == pytest.approx(100 * 0.8)
+        assert node.stats.events_by_source[DataSource.TERTIARY] == 100
+        assert node.stats.chunks_started == 1
+        assert node.stats.subjobs_completed == 0
+        # Resume elsewhere in time: totals keep accumulating consistently.
+        node.start(subjob)
+        engine.run()
+        assert node.stats.events_processed == 1000
+        assert node.stats.chunks_started == 2
+        assert node.stats.subjobs_completed == 1
+        assert node.stats.preemptions == 1
+
     def test_preempt_immediately_after_start_loses_nothing(self, space):
         engine, node, _ = build_node(space)
         subjob = make_subjob(0, 100)

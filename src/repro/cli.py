@@ -10,6 +10,8 @@ Subcommands::
     repro simulate --policy out-of-order --load 1.5 --days 20
     repro trace --policy out-of-order --days 7 -o run   # traced run
     repro calibrate --stripe 5000       # measure the adaptive delay table
+    repro lint                          # simlint static analysis
+    repro bench --quick --baseline-dir .   # benchmark + regression check
 """
 
 from __future__ import annotations
@@ -103,6 +105,14 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of Ponce & Hersch (IPDPS 2004): data-"
         "intensive analysis-job scheduling on PC clusters.",
+        epilog=(
+            "fault injection: simulate/trace accept --faults --mtbf DUR "
+            "--mttr DUR [--stall-interval DUR] [--wipe-cache].  "
+            "performance: `repro bench` times the kernel hot paths and "
+            "every policy end-to-end, writes BENCH_kernel.json / "
+            "BENCH_policies.json, and with --baseline-dir fails on "
+            "throughput regressions (see docs/PERFORMANCE.md)."
+        ),
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -207,7 +217,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--output", "-o", required=True, help="directory")
 
     rep_parser = sub.add_parser(
-        "replicate", help="replicated runs with 95% confidence intervals"
+        "replicate", help="replicated runs with 95%% confidence intervals"
     )
     rep_parser.add_argument("--policy", required=True, choices=available_policies())
     rep_parser.add_argument("--load", type=float, default=1.0, help="jobs/hour")
@@ -249,6 +259,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--rules", action="store_true", help="print the rule catalogue and exit"
+    )
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="benchmark the simulation kernel and policies; write "
+        "BENCH_*.json and optionally compare against a committed baseline",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sizes and repeats (seconds instead of minutes; "
+        "skips the paper-scale figure-5 record)",
+    )
+    bench_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally run each benchmark under cProfile and attach "
+        "the top hotspots to its JSON record",
+    )
+    bench_parser.add_argument(
+        "--kind",
+        choices=["kernel", "policies", "all"],
+        default="all",
+        help="which report(s) to produce (default: all)",
+    )
+    bench_parser.add_argument(
+        "--out-dir",
+        default=".",
+        metavar="DIR",
+        help="directory receiving BENCH_kernel.json / BENCH_policies.json "
+        "(default: current directory)",
+    )
+    bench_parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        metavar="DIR",
+        help="compare against the committed BENCH_*.json in DIR; exit 1 "
+        "when any record's slowdown exceeds the threshold",
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="tolerated slowdown factor for --baseline-dir (default 2.0)",
     )
 
     return parser
@@ -543,6 +598,65 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from .perf import (
+        DEFAULT_THRESHOLD,
+        compare_reports,
+        load_baseline,
+        render_report,
+        report_filename,
+        run_kernel_bench,
+        run_policy_bench,
+    )
+
+    if args.threshold is not None and args.baseline_dir is None:
+        print("repro bench: --threshold requires --baseline-dir", file=sys.stderr)
+        return 2
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    if threshold <= 0:
+        print(
+            f"repro bench: --threshold must be > 0, got {threshold}",
+            file=sys.stderr,
+        )
+        return 2
+    kinds = ["kernel", "policies"] if args.kind == "all" else [args.kind]
+    regressed = False
+    for kind in kinds:
+        if kind == "kernel":
+            report = run_kernel_bench(quick=args.quick, profile=args.profile)
+        else:
+            report = run_policy_bench(quick=args.quick, profile=args.profile)
+        print(render_report(report))
+        # Load the baseline BEFORE writing: with --out-dir and
+        # --baseline-dir both pointing at the repo root, writing first
+        # would overwrite the committed baseline and trivially pass.
+        baseline = (
+            load_baseline(args.baseline_dir, kind)
+            if args.baseline_dir is not None
+            else None
+        )
+        path = os.path.join(args.out_dir, report_filename(kind))
+        report.write(path)
+        print(f"report written to {path}")
+        if args.baseline_dir is not None:
+            if baseline is None:
+                print(
+                    f"no committed baseline {report_filename(kind)} in "
+                    f"{args.baseline_dir}; skipping comparison"
+                )
+            else:
+                comparison = compare_reports(report, baseline, threshold)
+                print(comparison.describe())
+                regressed = regressed or comparison.regressed
+        print()
+    if regressed:
+        print("repro bench: throughput regression detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "policies":
@@ -567,6 +681,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_calibrate(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")
 
 

@@ -33,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .node import Node
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChunkPlan:
     """One uniform-rate chunk: events, source, and (for remote reads)
     which node owns the cached copy.

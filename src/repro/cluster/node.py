@@ -117,6 +117,19 @@ class Node:
         self.planner = planner
         self.chunk_events = chunk_events
         self.speed_factor = speed_factor
+        #: Memoized per-source chunk costs: the cost model is a frozen
+        #: dataclass and ``speed_factor`` is fixed at construction, so the
+        #: per-event time and setup latency per source are constants —
+        #: computing them once keeps the chunk hot path free of method
+        #: calls and branch chains.
+        self._event_time: Dict[DataSource, float] = {
+            source: cost_model.event_time(source, speed_factor)
+            for source in DataSource
+        }
+        self._setup_latency: Dict[DataSource, float] = {
+            source: cost_model.setup_latency(source) * speed_factor
+            for source in DataSource
+        }
         self.obs = obs
         self.stats = NodeStats()
         self.current: Optional[Subjob] = None
@@ -339,13 +352,11 @@ class Node:
             raise SchedulingError(
                 f"planner returned bad chunk {plan.interval} for {remaining}"
             )
-        per_event = (
-            self.cost_model.event_time(plan.source, self.speed_factor)
-            * plan.rate_factor
-        )
-        if plan.source is DataSource.TERTIARY and self.tertiary_slowdown != 1.0:
+        source = plan.source
+        per_event = self._event_time[source] * plan.rate_factor
+        if source is DataSource.TERTIARY and self.tertiary_slowdown != 1.0:
             per_event *= self.tertiary_slowdown
-        setup = self.cost_model.setup_latency(plan.source) * self.speed_factor
+        setup = self._setup_latency[source]
         duration = setup + plan.interval.length * per_event
         self.planner.on_chunk_started(self, plan)
         completion = self.engine.call_after(
@@ -378,13 +389,16 @@ class Node:
         setup latency actually paid)."""
         subjob = self.current
         assert subjob is not None
-        processed = chunk.plan.interval.take_left(events_done)
-        self.planner.on_chunk_processed(self, chunk.plan, processed)
-        self.planner.on_chunk_finished(self, chunk.plan)
+        plan = chunk.plan
+        planner = self.planner
+        processed = plan.interval.take_left(events_done)
+        planner.on_chunk_processed(self, plan, processed)
+        planner.on_chunk_finished(self, plan)
         subjob.advance(events_done)
-        self.stats.busy_seconds += events_done * chunk.per_event_time + setup_spent
-        self.stats.events_processed += events_done
-        self.stats.events_by_source[chunk.plan.source] += events_done
+        stats = self.stats
+        stats.busy_seconds += events_done * chunk.per_event_time + setup_spent
+        stats.events_processed += events_done
+        stats.events_by_source[plan.source] += events_done
         if self.obs.enabled and events_done > 0:
             self.obs.emit(
                 self.engine.now,

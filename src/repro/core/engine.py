@@ -2,7 +2,10 @@
 
 A deliberately small, fast, callback-based engine:
 
-* a binary heap orders events by ``(time, priority, sequence)``;
+* a binary heap orders events by ``(time, priority, sequence)``; heap
+  entries are plain ``(time, priority, seq, event)`` tuples so sift
+  comparisons run natively in C instead of through rich-comparison
+  dunders on the event records;
 * cancellation is lazy (events carry a flag; the dispatcher skips dead
   entries), so cancelling is O(1) and preemption-heavy policies stay cheap;
 * ties at the same timestamp dispatch in a documented order
@@ -23,6 +26,9 @@ from typing import Any, Callable, List, Optional, Tuple
 from ..obs.hooks import NULL_BUS, HookBus, kinds
 from .errors import EngineError, InvariantViolation
 from .events import EngineStats, EventPriority, ScheduledEvent
+
+#: One calendar slot: the tuple key heapq compares, plus the payload.
+_HeapEntry = Tuple[float, int, int, ScheduledEvent]
 
 
 class Engine:
@@ -46,7 +52,9 @@ class Engine:
         check_invariants: bool = False,
     ) -> None:
         self._now = float(start_time)
-        self._heap: List[ScheduledEvent] = []
+        #: Calendar entries: ``(time, priority, seq, event)`` — ``seq`` is
+        #: unique, so tuple comparisons never reach the event payload.
+        self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -93,16 +101,12 @@ class Engine:
             )
         if callback is None:
             raise EngineError("callback must not be None")
-        event = ScheduledEvent(
-            time=float(time),
-            priority=int(priority),
-            seq=self._seq,
-            callback=callback,
-            args=args,
-            label=label,
-        )
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        time = float(time)
+        priority = int(priority)
+        seq = self._seq
+        event = ScheduledEvent(time, priority, seq, callback, args, False, label)
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self.stats.scheduled += 1
         if len(self._heap) > self.stats.max_queue:
             self.stats.max_queue = len(self._heap)
@@ -150,7 +154,7 @@ class Engine:
         """Time of the next active event, or ``None`` if the calendar is
         empty."""
         self._drop_cancelled_head()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Dispatch the single next active event.
@@ -160,7 +164,7 @@ class Engine:
         self._drop_cancelled_head()
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[3]
         if self.check_invariants and event.time < self._now:
             raise InvariantViolation(
                 f"non-monotone dispatch: event {event.label!r} at "
@@ -186,22 +190,26 @@ class Engine:
         self._stopped = False
         heap = self._heap
         obs = self.obs
+        stats = self.stats
+        heappop = heapq.heappop
+        checked = self.check_invariants
         try:
             while heap and not self._stopped:
-                event = heap[0]
+                event = heap[0][3]
                 if event.cancelled:
-                    heapq.heappop(heap)
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
+                time = event.time
+                if until is not None and time > until:
                     break
-                heapq.heappop(heap)
-                if self.check_invariants and event.time < self._now:
+                heappop(heap)
+                if checked and time < self._now:
                     raise InvariantViolation(
                         f"non-monotone dispatch: event {event.label!r} at "
-                        f"t={event.time:.6f} popped while now={self._now:.6f}"
+                        f"t={time:.6f} popped while now={self._now:.6f}"
                     )
-                self._now = event.time
-                self.stats.dispatched += 1
+                self._now = time
+                stats.dispatched += 1
                 if obs.engine_dispatch:
                     self._emit_dispatch(event)
                 event.callback(*event.args)
@@ -224,14 +232,15 @@ class Engine:
         periodic probe, never from the dispatch loop.
         """
         heap = self._heap
-        for index, event in enumerate(heap):
+        for index, entry in enumerate(heap):
+            event = entry[3]
             for child_index in (2 * index + 1, 2 * index + 2):
-                if child_index < len(heap) and heap[child_index] < event:
+                if child_index < len(heap) and heap[child_index][:3] < entry[:3]:
                     raise InvariantViolation(
                         f"event heap property violated at index {index}: "
                         f"parent (t={event.time:.6f}, prio={event.priority}, "
                         f"seq={event.seq}) sorts after child at "
-                        f"{child_index} (t={heap[child_index].time:.6f})"
+                        f"{child_index} (t={heap[child_index][0]:.6f})"
                     )
             if not event.cancelled and event.time < self._now:
                 raise InvariantViolation(
@@ -257,7 +266,7 @@ class Engine:
 
     def _drop_cancelled_head(self) -> None:
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][3].cancelled:
             heapq.heappop(heap)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -6,12 +6,16 @@ simultaneous events: e.g. a subjob completion at time *t* must be processed
 before a job arrival at the same instant, so that the freed node is visible
 to the arrival logic — matching the paper's sequential master-node
 scheduler, which handles one notification at a time.
+
+The engine's calendar stores ``(time, priority, seq, event)`` tuples so
+heap sift comparisons run on native tuples in C; :class:`ScheduledEvent`
+itself is a ``__slots__`` record and defines no ordering.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
 
@@ -34,21 +38,34 @@ class EventPriority(enum.IntEnum):
     PROBE = 40
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """An event in the engine's calendar.
 
-    Instances are ordered by ``(time, priority, seq)``; the payload fields
-    are excluded from comparisons.
+    The engine keys its heap on ``(time, priority, seq)`` tuples (with
+    ``seq`` as the unique tiebreaker), so the record itself carries only
+    payload and needs no comparison dunders — ``__slots__`` keeps
+    construction and attribute access on the dispatch hot path cheap.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    label: str = field(compare=False, default="")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        cancelled: bool = False,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self.label = label
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it (O(1), lazy deletion)."""
@@ -57,6 +74,17 @@ class ScheduledEvent:
     @property
     def active(self) -> bool:
         return not self.cancelled
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """The ``(time, priority, seq)`` key the engine orders by."""
+        return (self.time, self.priority, self.seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduledEvent(time={self.time!r}, priority={self.priority!r}, "
+            f"seq={self.seq!r}, cancelled={self.cancelled!r}, "
+            f"label={self.label!r})"
+        )
 
 
 #: Convenient alias used in type hints of schedulers.

@@ -76,12 +76,12 @@ class LRUSegmentCache:
         self.capacity_events = int(capacity_events)
         self.obs = obs
         self.owner_id = owner_id
-        self._extents: Dict[int, _Extent] = {}
         self._starts: List[int] = []  # sorted extent start points
-        self._ids_by_start: Dict[int, int] = {}  # start -> extent id
-        self._lru_heap: List[Tuple[float, int, int]] = []  # (last_access, tiebreak, id)
+        self._by_start: Dict[int, _Extent] = {}  # start -> extent
+        #: Lazy-deletion LRU heap of ``(last_access, tiebreak, extent)``;
+        #: ``tiebreak`` is unique, so the extent itself is never compared.
+        self._lru_heap: List[Tuple[float, int, _Extent]] = []
         self._used = 0
-        self._next_id = 0
         self._tiebreak = 0
         self.stats = CacheStats()
 
@@ -101,14 +101,32 @@ class LRUSegmentCache:
         """The cached point set (merged extents, timestamps ignored)."""
         merged = IntervalSet()
         for start in self._starts:
-            merged.add(self._extents[self._ids_by_start[start]].interval)
+            merged.add(self._by_start[start].interval)
         return merged
 
     def cached_parts(self, interval: Interval) -> IntervalSet:
         """Sub-ranges of ``interval`` present in the cache."""
         result = IntervalSet()
+        query_start = interval.start
+        query_end = interval.end
+        starts = result._starts
+        ends = result._ends
+        # Overlapping extents arrive start-sorted and disjoint, so the
+        # clipped pieces can be appended directly, merging abutting runs
+        # (extents may touch when their LRU stamps differ) to keep the
+        # set canonical.
         for extent in self._overlapping(interval):
-            result.add(extent.interval.intersection(interval))
+            piece = extent.interval
+            start = piece.start if piece.start > query_start else query_start
+            end = piece.end if piece.end < query_end else query_end
+            if start >= end:
+                continue
+            if ends and start <= ends[-1]:
+                if end > ends[-1]:
+                    ends[-1] = end
+            else:
+                starts.append(start)
+                ends.append(end)
         return result
 
     def cached_events(self, interval: Interval) -> int:
@@ -126,8 +144,7 @@ class LRUSegmentCache:
         index = bisect_right(self._starts, point) - 1
         if index < 0:
             return False
-        extent = self._extents[self._ids_by_start[self._starts[index]]]
-        return extent.interval.contains(point)
+        return self._by_start[self._starts[index]].interval.contains(point)
 
     def cached_prefix(self, interval: Interval) -> Interval:
         """The longest cached run starting exactly at ``interval.start``.
@@ -138,24 +155,27 @@ class LRUSegmentCache:
         """
         if interval.empty:
             return Interval(interval.start, interval.start)
+        starts = self._starts
+        by_start = self._by_start
+        n = len(starts)
         end = interval.start
-        index = bisect_right(self._starts, end) - 1
+        index = bisect_right(starts, end) - 1
         # Walk right over contiguous extents (they may abut without merging
         # when their timestamps differ).
         while True:
-            extent: Optional[_Extent] = None
-            if 0 <= index < len(self._starts):
-                candidate = self._extents[self._ids_by_start[self._starts[index]]]
-                if candidate.interval.contains(end):
-                    extent = candidate
-            if extent is None and index + 1 < len(self._starts):
-                candidate = self._extents[self._ids_by_start[self._starts[index + 1]]]
-                if candidate.interval.start == end:
-                    extent = candidate
+            found = None
+            if 0 <= index < n:
+                candidate = by_start[starts[index]].interval
+                if candidate.start <= end < candidate.end:
+                    found = candidate
+            if found is None and index + 1 < n:
+                candidate = by_start[starts[index + 1]].interval
+                if candidate.start == end:
+                    found = candidate
                     index += 1
-            if extent is None:
+            if found is None:
                 break
-            end = extent.interval.end
+            end = found.end
             if end >= interval.end:
                 end = interval.end
                 break
@@ -164,22 +184,27 @@ class LRUSegmentCache:
     def uncached_prefix(self, interval: Interval) -> Interval:
         """The longest run starting at ``interval.start`` with no cached
         event."""
+        start = interval.start
         if interval.empty:
-            return Interval(interval.start, interval.start)
-        end = interval.end
-        for extent in self._overlapping(interval):
-            if extent.interval.start <= interval.start:
-                return Interval(interval.start, interval.start)
-            end = min(end, extent.interval.start)
-            break  # extents are start-sorted: first overlap bounds prefix
-        return Interval(interval.start, end)
+            return Interval(start, start)
+        starts = self._starts
+        # Only the first overlapping extent bounds the prefix: either an
+        # extent covering ``start`` (empty prefix) or the first extent
+        # beginning inside the interval.
+        index = bisect_right(starts, start) - 1
+        if index >= 0 and self._by_start[starts[index]].interval.end > start:
+            return Interval(start, start)
+        index += 1
+        if index < len(starts) and starts[index] < interval.end:
+            return Interval(start, starts[index])
+        return Interval(start, interval.end)
 
     def extent_count(self) -> int:
-        return len(self._extents)
+        return len(self._by_start)
 
     def __iter__(self) -> Iterator[Tuple[Interval, float]]:
         for start in self._starts:
-            extent = self._extents[self._ids_by_start[start]]
+            extent = self._by_start[start]
             yield extent.interval, extent.last_access
 
     # -- mutation ----------------------------------------------------------------
@@ -193,9 +218,9 @@ class LRUSegmentCache:
         """
         if interval.empty or self.capacity_events == 0:
             return
-        if interval.length > self.capacity_events:
+        if interval.end - interval.start > self.capacity_events:
             interval = Interval(interval.end - self.capacity_events, interval.end)
-        self.stats.inserted_events += interval.length
+        self.stats.inserted_events += interval.end - interval.start
         self._carve(interval)
         self._add_extent(interval, now)
         evicted_before = self.stats.evicted_events
@@ -228,9 +253,8 @@ class LRUSegmentCache:
         return dropped
 
     def clear(self) -> None:
-        self._extents.clear()
         self._starts.clear()
-        self._ids_by_start.clear()
+        self._by_start.clear()
         self._lru_heap.clear()
         self._used = 0
 
@@ -240,16 +264,21 @@ class LRUSegmentCache:
         """Extents intersecting ``interval``, in start order."""
         if interval.empty or not self._starts:
             return []
+        starts = self._starts
+        by_start = self._by_start
         result: List[_Extent] = []
-        index = bisect_right(self._starts, interval.start) - 1
+        query_start = interval.start
+        index = bisect_right(starts, query_start) - 1
         if index < 0:
             index = 0
-        while index < len(self._starts):
-            start = self._starts[index]
-            if start >= interval.end:
+        end = interval.end
+        n = len(starts)
+        while index < n:
+            start = starts[index]
+            if start >= end:
                 break
-            extent = self._extents[self._ids_by_start[start]]
-            if extent.interval.overlaps(interval):
+            extent = by_start[start]
+            if extent.interval.end > query_start:
                 result.append(extent)
             index += 1
         return result
@@ -268,14 +297,12 @@ class LRUSegmentCache:
         # Coalesce with an identically-stamped neighbour on each side.
         interval = self._try_merge(interval, last_access)
         extent = _Extent(interval, last_access)
-        extent_id = self._next_id
-        self._next_id += 1
-        self._extents[extent_id] = extent
         insort(self._starts, interval.start)
-        self._ids_by_start[interval.start] = extent_id
-        self._tiebreak += 1
-        heapq.heappush(self._lru_heap, (last_access, self._tiebreak, extent_id))
-        self._used += interval.length
+        self._by_start[interval.start] = extent
+        tiebreak = self._tiebreak + 1
+        self._tiebreak = tiebreak
+        heapq.heappush(self._lru_heap, (last_access, tiebreak, extent))
+        self._used += interval.end - interval.start
 
     def _try_merge(self, interval: Interval, last_access: float) -> Interval:
         """Absorb abutting extents with the same timestamp into
@@ -285,7 +312,7 @@ class LRUSegmentCache:
             changed = False
             index = bisect_left(self._starts, interval.end)
             if index < len(self._starts) and self._starts[index] == interval.end:
-                right = self._extents[self._ids_by_start[self._starts[index]]]
+                right = self._by_start[self._starts[index]]
                 # Stamps are copied values (never arithmetic results), so
                 # exact equality is the correct coalescing criterion here.
                 if right.last_access == last_access:  # simlint: disable=SIM003
@@ -294,7 +321,7 @@ class LRUSegmentCache:
                     changed = True
             index = bisect_left(self._starts, interval.start) - 1
             if index >= 0:
-                left = self._extents[self._ids_by_start[self._starts[index]]]
+                left = self._by_start[self._starts[index]]
                 # Same as above: copied stamps, exact equality intended.
                 if left.interval.end == interval.start and left.last_access == last_access:  # simlint: disable=SIM003
                     self._drop_extent(left)
@@ -304,24 +331,24 @@ class LRUSegmentCache:
 
     def _drop_extent(self, extent: _Extent) -> None:
         start = extent.interval.start
-        extent_id = self._ids_by_start.pop(start)
-        del self._extents[extent_id]
+        del self._by_start[start]
         index = bisect_left(self._starts, start)
         assert self._starts[index] == start
         del self._starts[index]
         extent.alive = False
-        self._used -= extent.interval.length
+        interval = extent.interval
+        self._used -= interval.end - interval.start
 
     def _evict_to_fit(self, protect: Interval) -> None:
         """Evict LRU extents until within capacity, never touching the
         freshly inserted ``protect`` range."""
-        stash: List[Tuple[float, int, int]] = []
+        stash: List[Tuple[float, int, _Extent]] = []
         while self._used > self.capacity_events:
             if not self._lru_heap:
                 raise CacheError("cache accounting corrupt: over capacity with empty LRU")
             entry = heapq.heappop(self._lru_heap)
-            extent = self._extents.get(entry[2])
-            if extent is None or not extent.alive:
+            extent = entry[2]
+            if not extent.alive:
                 continue  # stale heap entry (lazy deletion)
             if extent.interval.overlaps(protect):
                 stash.append(entry)
@@ -350,7 +377,7 @@ class LRUSegmentCache:
         total = 0
         previous_end = None
         for start in self._starts:
-            extent = self._extents[self._ids_by_start[start]]
+            extent = self._by_start[start]
             if extent.interval.start != start:
                 raise CacheError("start index out of sync")
             if previous_end is not None and extent.interval.start < previous_end:
@@ -376,21 +403,19 @@ class LRUSegmentCache:
             )
         if self._used < 0:
             raise InvariantViolation(f"{who}: negative used counter {self._used}")
-        if not (len(self._starts) == len(self._ids_by_start) == len(self._extents)):
+        if len(self._starts) != len(self._by_start):
             raise InvariantViolation(
                 f"{who}: extent indexes out of sync "
-                f"(starts={len(self._starts)}, ids={len(self._ids_by_start)}, "
-                f"extents={len(self._extents)})"
+                f"(starts={len(self._starts)}, extents={len(self._by_start)})"
             )
         total = 0
         previous_end: Optional[int] = None
         for start in self._starts:
-            extent_id = self._ids_by_start.get(start)
-            if extent_id is None or extent_id not in self._extents:
+            extent = self._by_start.get(start)
+            if extent is None:
                 raise InvariantViolation(
                     f"{who}: start index {start} has no backing extent"
                 )
-            extent = self._extents[extent_id]
             if extent.interval.start != start:
                 raise InvariantViolation(
                     f"{who}: extent {extent.interval} filed under start {start}"
@@ -419,14 +444,14 @@ class LRUSegmentCache:
             for child_index in (2 * entry_index + 1, 2 * entry_index + 2):
                 if (
                     child_index < len(self._lru_heap)
-                    and self._lru_heap[child_index] < entry
+                    and self._lru_heap[child_index][:2] < entry[:2]
                 ):
                     raise InvariantViolation(
                         f"{who}: LRU heap order violated at index {entry_index}"
                     )
-            stamped.setdefault(entry[2], entry[0])
-        for extent_id, extent in self._extents.items():
-            stamp = stamped.get(extent_id)
+            stamped.setdefault(id(entry[2]), entry[0])
+        for extent in self._by_start.values():
+            stamp = stamped.get(id(extent))
             if stamp is None:
                 raise InvariantViolation(
                     f"{who}: live extent {extent.interval} missing from the "
@@ -443,5 +468,5 @@ class LRUSegmentCache:
     def __repr__(self) -> str:
         return (
             f"LRUSegmentCache(used={self._used}/{self.capacity_events} events, "
-            f"extents={len(self._extents)})"
+            f"extents={len(self._by_start)})"
         )

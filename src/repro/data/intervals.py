@@ -24,7 +24,7 @@ from typing import Iterable, Iterator, List, Sequence, Tuple, Union
 from ..core.errors import IntervalError
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Interval:
     """A half-open range ``[start, end)`` of integer event indices.
 
@@ -137,7 +137,10 @@ class Interval:
 
     def take_left(self, count: int) -> "Interval":
         """The leftmost ``count`` events (clamped to the interval)."""
-        count = max(0, min(count, self.length))
+        if count >= self.end - self.start:
+            return self
+        if count < 0:
+            count = 0
         return Interval(self.start, self.start + count)
 
     def drop_left(self, count: int) -> "Interval":

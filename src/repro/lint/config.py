@@ -25,13 +25,15 @@ DEFAULT_RNG_MODULES: Tuple[str, ...] = ("*/core/rng.py",)
 DEFAULT_OBS_MODULES: Tuple[str, ...] = ("*/obs/*.py",)
 
 #: Modules allowed to perform I/O (SIM006): the CLI, exporters, the obs
-#: sinks, the sweep runner's progress output, workload-trace files — and
-#: the top-level driver scripts (benchmarks/, examples/), whose entire
-#: job is terminal output.
+#: sinks, the sweep runner's progress output, workload-trace files, the
+#: benchmark harness (``repro.perf`` reads/writes BENCH_*.json and runs
+#: ``git rev-parse``) — and the top-level driver scripts (benchmarks/,
+#: examples/), whose entire job is terminal output.
 DEFAULT_IO_MODULES: Tuple[str, ...] = (
     "*/cli.py",
     "*/__main__.py",
     "*/obs/*.py",
+    "*/perf/*.py",
     "*/sim/export.py",
     "*/sim/runner.py",
     "*/workload/trace.py",

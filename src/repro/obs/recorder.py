@@ -109,6 +109,9 @@ class TraceRecorder(TraceSink):
         self.capacity = capacity
         self.sample_interval = sample_interval
         self.keep = keep
+        #: Ring mode, precomputed: ``on_event`` runs once per emitted
+        #: event, so it tests a bool instead of re-comparing ``keep``.
+        self._ring = keep == "last"
         self.events: Deque[TraceEvent] = deque(
             maxlen=capacity if keep == "last" else None
         )
@@ -148,7 +151,7 @@ class TraceRecorder(TraceSink):
 
     def on_event(self, event: TraceEvent) -> None:
         self.total_emitted += 1
-        if self.keep == "last" or len(self.events) < self.capacity:
+        if self._ring or len(self.events) < self.capacity:
             self.events.append(event)
         self.last_time = event.time
         self._count(event)

@@ -1,0 +1,69 @@
+"""Benchmark-regression harness (``repro bench``).
+
+Public surface:
+
+* :func:`run_kernel_bench` / :func:`run_policy_bench` — produce
+  :class:`BenchReport` s for the simulator's hot paths and the end-to-end
+  policy runs;
+* :class:`BenchReport` / :class:`BenchRecord` — the stable
+  ``BENCH_*.json`` schema (wall time, work, throughput, git SHA, peak
+  RSS);
+* :func:`compare_reports` / :func:`load_baseline` — committed-baseline
+  regression checking with a configurable slowdown threshold;
+* :func:`profile_call` — cProfile top-N hotspot extraction
+  (``repro bench --profile``).
+
+See docs/PERFORMANCE.md for how these pieces fit together.
+"""
+
+from .baseline import (
+    DEFAULT_THRESHOLD,
+    ComparisonResult,
+    RecordComparison,
+    compare_reports,
+    load_baseline,
+)
+from .bench import (
+    bench_cache_lru,
+    bench_engine_cancel_churn,
+    bench_engine_dispatch,
+    bench_interval_ops,
+    bench_intervalset_ops,
+    bench_simulation,
+    fig5_config,
+    run_kernel_bench,
+    run_policy_bench,
+)
+from .profiling import profile_call
+from .report import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    BenchReport,
+    Hotspot,
+    render_report,
+    report_filename,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_THRESHOLD",
+    "BenchRecord",
+    "BenchReport",
+    "Hotspot",
+    "ComparisonResult",
+    "RecordComparison",
+    "bench_cache_lru",
+    "bench_engine_cancel_churn",
+    "bench_engine_dispatch",
+    "bench_interval_ops",
+    "bench_intervalset_ops",
+    "bench_simulation",
+    "compare_reports",
+    "fig5_config",
+    "load_baseline",
+    "profile_call",
+    "render_report",
+    "report_filename",
+    "run_kernel_bench",
+    "run_policy_bench",
+]

@@ -1,0 +1,138 @@
+"""Committed-baseline comparison: fail CI on throughput regressions.
+
+The repository commits ``BENCH_kernel.json`` / ``BENCH_policies.json`` at
+its root.  A fresh benchmark run is compared record-by-record (matched by
+name) against those files: a record **regresses** when
+
+    baseline_throughput / current_throughput > threshold
+
+i.e. the threshold is the tolerated slowdown factor.  Records present on
+only one side are reported but never fail the comparison — quick CI runs
+deliberately execute a subset of the committed full baseline.
+
+>>> from .report import BenchRecord, BenchReport
+>>> base = BenchReport(kind="kernel", records=(
+...     BenchRecord("a", wall_seconds=1.0, work=100, unit="ops", repeats=1),))
+>>> fast = BenchReport(kind="kernel", records=(
+...     BenchRecord("a", wall_seconds=0.5, work=100, unit="ops", repeats=1),))
+>>> slow = BenchReport(kind="kernel", records=(
+...     BenchRecord("a", wall_seconds=9.0, work=100, unit="ops", repeats=1),))
+>>> compare_reports(fast, base, threshold=2.0).regressed
+False
+>>> compare_reports(slow, base, threshold=2.0).regressed
+True
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .report import BenchReport, report_filename
+
+#: Default tolerated slowdown factor: generous enough for machine-to-
+#: machine variance (CI runners vs developer laptops), tight enough to
+#: catch a hot path going accidentally quadratic.  See
+#: docs/PERFORMANCE.md for the policy behind this number.
+DEFAULT_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class RecordComparison:
+    """One record's current vs baseline throughput."""
+
+    name: str
+    baseline_throughput: float
+    current_throughput: float
+    threshold: float
+
+    @property
+    def slowdown(self) -> float:
+        """Baseline over current (> 1 means the code got slower)."""
+        if self.current_throughput <= 0:
+            return float("inf")
+        return self.baseline_throughput / self.current_throughput
+
+    @property
+    def regressed(self) -> bool:
+        return self.slowdown > self.threshold
+
+    def describe(self) -> str:
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name:<28} baseline {self.baseline_throughput:>14,.0f}/s  "
+            f"current {self.current_throughput:>14,.0f}/s  "
+            f"slowdown {self.slowdown:5.2f}x  [{verdict}]"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """The full comparison of one report against its baseline."""
+
+    kind: str
+    threshold: float
+    compared: Tuple[RecordComparison, ...]
+    only_current: Tuple[str, ...]
+    only_baseline: Tuple[str, ...]
+
+    @property
+    def regressed(self) -> bool:
+        return any(entry.regressed for entry in self.compared)
+
+    def describe(self) -> str:
+        lines: List[str] = [
+            f"comparison vs committed baseline ({self.kind}, "
+            f"threshold {self.threshold:.2f}x):"
+        ]
+        for entry in self.compared:
+            lines.append("  " + entry.describe())
+        if self.only_current:
+            lines.append(
+                "  (not in baseline: " + ", ".join(self.only_current) + ")"
+            )
+        if self.only_baseline:
+            lines.append(
+                "  (baseline-only, skipped: "
+                + ", ".join(self.only_baseline)
+                + ")"
+            )
+        return "\n".join(lines)
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> ComparisonResult:
+    """Compare two reports record-by-record (matched by record name)."""
+    baseline_names = {entry.name for entry in baseline.records}
+    current_names = {entry.name for entry in current.records}
+    compared = tuple(
+        RecordComparison(
+            name=entry.name,
+            baseline_throughput=base.throughput,
+            current_throughput=entry.throughput,
+            threshold=threshold,
+        )
+        for entry in current.records
+        for base in (baseline.record(entry.name),)
+        if base is not None
+    )
+    return ComparisonResult(
+        kind=current.kind,
+        threshold=threshold,
+        compared=compared,
+        only_current=tuple(sorted(current_names - baseline_names)),
+        only_baseline=tuple(sorted(baseline_names - current_names)),
+    )
+
+
+def load_baseline(directory: str, kind: str) -> Optional[BenchReport]:
+    """The committed baseline report of ``kind`` in ``directory``, or
+    ``None`` when the file does not exist."""
+    path = os.path.join(directory, report_filename(kind))
+    if not os.path.exists(path):
+        return None
+    return BenchReport.read(path)

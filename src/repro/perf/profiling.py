@@ -1,0 +1,59 @@
+"""cProfile wrapper: run a callable, keep the top-N hotspots.
+
+Used by ``repro bench --profile`` to attach the hottest functions to each
+benchmark record, so a regression in ``BENCH_*.json`` comes with the
+profile that explains it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Callable, List, Tuple, TypeVar
+
+from .report import Hotspot
+
+T = TypeVar("T")
+
+#: Hotspots kept per profiled benchmark.
+DEFAULT_TOP_N = 10
+
+
+def _format_function(key: Tuple[str, int, str]) -> str:
+    """``path:lineno(name)`` with the path trimmed to the package part."""
+    path, lineno, name = key
+    if path.startswith("~") or not path:
+        return name  # builtins: pstats files them under '~'
+    for marker in ("/src/", "/lib/"):
+        index = path.rfind(marker)
+        if index != -1:
+            path = path[index + len(marker):]
+            break
+    return f"{path}:{lineno}({name})"
+
+
+def profile_call(
+    func: Callable[[], T], top_n: int = DEFAULT_TOP_N
+) -> Tuple[T, List[Hotspot]]:
+    """Run ``func()`` under cProfile; return its result and the ``top_n``
+    functions by internal (self) time."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = func()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("tottime")
+    hotspots: List[Hotspot] = []
+    for key in stats.fcn_list[:top_n]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[key]  # type: ignore[attr-defined]
+        hotspots.append(
+            Hotspot(
+                function=_format_function(key),
+                calls=int(nc),
+                total_seconds=float(tt),
+                cumulative_seconds=float(ct),
+            )
+        )
+    return result, hotspots

@@ -1,9 +1,19 @@
 """Experiment runner: parameter sweeps with optional multiprocessing.
 
-A sweep is a list of :class:`RunSpec` (config + policy + parameters); the
-runner executes them — serially or across worker processes — and returns
-:class:`SweepResult`, which knows how to extract the (load → metric)
-series the paper's figures are made of.
+A sweep is a list of :class:`RunSpec` (config + policy + policy
+parameters, built with :meth:`RunSpec.make` or the :func:`load_sweep`
+helper).  :func:`run_sweep` executes the specs — serially for small
+sweeps, across a process pool otherwise — and returns a
+:class:`SweepResult` pairing each spec with its
+:class:`~repro.sim.simulator.SimulationResult`.
+
+``SweepResult`` then post-processes the pairs:
+
+* :meth:`SweepResult.series` — (load, metric) points per label, the
+  paper's figure format, with overloaded points cut off by default;
+* :meth:`SweepResult.max_sustained_load` — highest steady load per label;
+* :meth:`SweepResult.by_label` / :meth:`SweepResult.to_json` — grouping
+  and machine-readable export.
 """
 
 from __future__ import annotations

@@ -45,7 +45,7 @@ class SubjobState(enum.Enum):
     DONE = "done"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobRequest:
     """An immutable workload-trace entry."""
 
@@ -61,6 +61,21 @@ class JobRequest:
 
 class Job:
     """A running analysis job and its lifecycle timestamps."""
+
+    __slots__ = (
+        "request",
+        "job_id",
+        "arrival_time",
+        "segment",
+        "n_events",
+        "schedule_time",
+        "first_start",
+        "completion",
+        "events_done",
+        "state",
+        "subjobs",
+        "_next_subjob_seq",
+    )
 
     _ids = itertools.count()
 
@@ -217,11 +232,26 @@ class Job:
 class Subjob:
     """A contiguous sub-segment of one job, processed left to right."""
 
+    __slots__ = (
+        "job",
+        "seq",
+        "sid",
+        "segment",
+        "processed",
+        "state",
+        "node",
+        "steal_preemptible",
+        "origin",
+    )
+
     def __init__(self, job: Job, segment: Interval) -> None:
         if segment.empty:
             raise SchedulingError(f"empty subjob segment {segment}")
         self.job = job
         self.seq = job.new_subjob_seq()
+        #: Stable display id; precomputed (job id and seq never change) so
+        #: hot-path event labels avoid an f-string per chunk.
+        self.sid = f"{job.job_id}.{self.seq}"
         self.segment = segment
         self.processed = 0
         self.state = SubjobState.PENDING
@@ -236,17 +266,14 @@ class Subjob:
     # -- geometry -------------------------------------------------------------
 
     @property
-    def sid(self) -> str:
-        return f"{self.job.job_id}.{self.seq}"
-
-    @property
     def remaining(self) -> Interval:
         """The yet-unprocessed right part of the segment."""
         return Interval(self.segment.start + self.processed, self.segment.end)
 
     @property
     def remaining_events(self) -> int:
-        return self.segment.length - self.processed
+        segment = self.segment
+        return segment.end - segment.start - self.processed
 
     @property
     def done(self) -> bool:

@@ -17,6 +17,9 @@ import repro.core.units
 import repro.data.cache
 import repro.data.dataspace
 import repro.data.intervals
+import repro.perf.baseline
+import repro.perf.bench
+import repro.perf.report
 import repro.sim.simulator
 
 MODULES = [
@@ -31,6 +34,9 @@ MODULES = [
     repro.analysis.queueing,
     repro.analysis.fairness,
     repro.sim.simulator,
+    repro.perf.report,
+    repro.perf.baseline,
+    repro.perf.bench,
 ]
 
 

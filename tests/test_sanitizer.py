@@ -119,15 +119,15 @@ class TestEventOrderingCorruption:
         # Test-only hook: smuggle an event into the past, bypassing
         # call_at's validation — exactly what a buggy component that
         # caches a stale `now` would do.
+        stale = ScheduledEvent(
+            time=2.0,
+            priority=int(EventPriority.ARRIVAL),
+            seq=999,
+            callback=lambda: None,
+            label="stale",
+        )
         heapq.heappush(
-            engine._heap,
-            ScheduledEvent(
-                time=2.0,
-                priority=EventPriority.ARRIVAL,
-                seq=999,
-                callback=lambda: None,
-                label="stale",
-            ),
+            engine._heap, (stale.time, stale.priority, stale.seq, stale)
         )
         with pytest.raises(InvariantViolation, match="non-monotone"):
             engine.step()

@@ -19,6 +19,7 @@ Quickstart::
 from .core import Engine, RandomStreams, units
 from .core.errors import ReproError
 from .cluster import Cluster, CostModel, DataSource, Node
+from .exec import Executor, ExecStats, ResultCache, RetryPolicy, SpecError, make_cache
 from .data import DataSpace, Interval, IntervalSet, LRUSegmentCache, TertiaryStorage
 from .obs import (
     HookBus,
@@ -98,4 +99,11 @@ __all__ = [
     "SweepResult",
     "run_sweep",
     "load_sweep",
+    # execution layer
+    "Executor",
+    "ExecStats",
+    "ResultCache",
+    "RetryPolicy",
+    "SpecError",
+    "make_cache",
 ]

@@ -7,6 +7,12 @@ Subcommands::
     repro limits                        # print the paper's theoretical anchors
     repro run fig3 --scale quick        # regenerate a figure
     repro run-all --scale full -o report.md
+    repro sweep fig3 -o fig3.json       # sweep -> summary-JSON v3
+
+Sweep-shaped commands (run, run-all, sweep, export, replicate,
+calibrate) share the execution-layer knobs: ``--jobs/-j`` (worker
+processes; ``$REPRO_JOBS`` sets the default), and where results are
+cacheable ``--no-cache``, ``--cache-dir`` and ``--resume``.
     repro simulate --policy out-of-order --load 1.5 --days 20
     repro trace --policy out-of-order --days 7 -o run   # traced run
     repro calibrate --stripe 5000       # measure the adaptive delay table
@@ -18,7 +24,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .exec.executor import Executor
 
 from . import __version__
 from .analysis.tables import format_table
@@ -30,7 +39,6 @@ from .experiments import (
     calibrate_delay_table,
     get_experiment,
     render_markdown_report,
-    run_all,
     run_experiment,
     summarize_table,
 )
@@ -46,6 +54,72 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         default=Scale.QUICK.value,
         help="sweep size: smoke (seconds), quick (minutes), full (paper-faithful)",
     )
+
+
+def _add_exec_args(parser: argparse.ArgumentParser, cache: bool = True) -> None:
+    """The uniform execution-layer knobs (``repro.exec``)."""
+    group = parser.add_argument_group("execution layer (repro.exec)")
+    group.add_argument(
+        "--jobs",
+        "-j",
+        "--processes",
+        dest="jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: auto — serial for tiny sweeps, "
+        "one per CPU otherwise; $REPRO_JOBS overrides the default; 1 = serial)",
+    )
+    if not cache:
+        return
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache (recompute every "
+        "point even when .repro-cache/ already holds it)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from its checkpoint journal: "
+        "run only the specs the journal does not mark complete",
+    )
+
+
+def _executor_from_args(
+    args: argparse.Namespace, journal_name: Optional[str] = None
+) -> "Executor":
+    """Build the executor a sweep-shaped command asked for."""
+    from .exec import Executor, RetryPolicy, make_cache
+
+    resume = bool(getattr(args, "resume", False))
+    no_cache = bool(getattr(args, "no_cache", True))
+    if resume and no_cache:
+        raise SystemExit("repro: --resume requires the result cache (drop --no-cache)")
+    cache = None
+    journal_path = None
+    if not no_cache:
+        cache = make_cache(getattr(args, "cache_dir", None))
+        if journal_name is not None:
+            journal_path = cache.journal_path(journal_name)
+    return Executor(
+        jobs=args.jobs,
+        cache=cache,
+        retry=RetryPolicy(max_attempts=2),
+        journal_path=journal_path,
+        resume=resume,
+    )
+
+
+def _print_exec_stats(sweep) -> None:
+    if sweep.stats is not None:
+        print(sweep.stats.brief())
 
 
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
@@ -126,14 +200,29 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id (e.g. fig3)")
     _add_scale(run_parser)
-    run_parser.add_argument("--processes", type=int, default=None)
+    _add_exec_args(run_parser)
     run_parser.add_argument("--output", "-o", default=None, help="write report here")
 
     all_parser = sub.add_parser("run-all", help="run every experiment")
     _add_scale(all_parser)
-    all_parser.add_argument("--processes", type=int, default=None)
+    _add_exec_args(all_parser)
     all_parser.add_argument("--only", nargs="*", default=None, help="subset of ids")
     all_parser.add_argument("--output", "-o", default=None)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run an experiment's raw sweep and emit its summary JSON "
+        "(schema v3; deterministic across --jobs, cache hits and --resume)",
+    )
+    sweep_parser.add_argument("experiment", help="experiment id (e.g. fig3)")
+    _add_scale(sweep_parser)
+    _add_exec_args(sweep_parser)
+    sweep_parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="write the sweep summary JSON here (default: stdout)",
+    )
 
     sim_parser = sub.add_parser("simulate", help="run a single simulation")
     sim_parser.add_argument("--policy", required=True, choices=available_policies())
@@ -213,7 +302,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     exp_parser.add_argument("experiment", help="experiment id (e.g. fig3)")
     _add_scale(exp_parser)
-    exp_parser.add_argument("--processes", type=int, default=None)
+    _add_exec_args(exp_parser)
     exp_parser.add_argument("--output", "-o", required=True, help="directory")
 
     rep_parser = sub.add_parser(
@@ -226,13 +315,14 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_parser.add_argument("-n", "--replications", type=int, default=5)
     rep_parser.add_argument("--period", type=float, default=None, help="seconds")
     rep_parser.add_argument("--stripe", type=int, default=None, help="events")
+    _add_exec_args(rep_parser, cache=False)
 
     cal_parser = sub.add_parser(
         "calibrate", help="measure the adaptive policy's delay table"
     )
     cal_parser.add_argument("--stripe", type=int, default=5000)
     cal_parser.add_argument("--days", type=float, default=30.0)
-    cal_parser.add_argument("--processes", type=int, default=None)
+    _add_exec_args(cal_parser, cache=False)
 
     lint_parser = sub.add_parser(
         "lint",
@@ -332,28 +422,41 @@ def _cmd_limits() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    executor = _executor_from_args(
+        args, journal_name=f"run-{args.experiment}-{args.scale}"
+    )
     outcome = run_experiment(
         args.experiment,
         scale=Scale(args.scale),
-        processes=args.processes,
         progress=True,
+        executor=executor,
     )
     print(outcome.rendered)
+    _print_exec_stats(outcome.sweep)
     if args.output:
         report = render_markdown_report([outcome], Scale(args.scale))
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report)
         print(f"\nreport written to {args.output}")
-    return 0
+    return 1 if outcome.sweep.n_failed else 0
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
-    outcomes = run_all(
-        scale=Scale(args.scale),
-        exp_ids=args.only,
-        processes=args.processes,
-        progress=True,
-    )
+    # One executor (and checkpoint journal) per experiment, so --resume
+    # restarts exactly the interrupted figure; the result cache is
+    # shared across all of them by content fingerprint.
+    ids = list(args.only) if args.only else available_experiments()
+    outcomes = []
+    for exp_id in ids:
+        executor = _executor_from_args(
+            args, journal_name=f"run-{exp_id}-{args.scale}"
+        )
+        outcomes.append(
+            run_experiment(
+                exp_id, scale=Scale(args.scale), progress=True, executor=executor
+            )
+        )
+        _print_exec_stats(outcomes[-1].sweep)
     report = render_markdown_report(outcomes, Scale(args.scale))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -361,7 +464,33 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(report)
-    return 0
+    return 1 if any(outcome.sweep.n_failed for outcome in outcomes) else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sim.runner import run_sweep
+
+    experiment = get_experiment(args.experiment)
+    executor = _executor_from_args(
+        args, journal_name=f"sweep-{args.experiment}-{args.scale}"
+    )
+    sweep = run_sweep(
+        experiment.specs(Scale(args.scale)),
+        progress=True,
+        executor=executor,
+        on_error="capture",
+    )
+    payload = sweep.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"sweep summary written to {args.output}")
+    else:
+        print(payload)
+    _print_exec_stats(sweep)
+    for _, error in sweep.errors():
+        print(f"FAILED: {error.brief()}", file=sys.stderr)
+    return 1 if sweep.n_failed else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -506,10 +635,13 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from .sim.runner import run_sweep
 
     experiment = get_experiment(args.experiment)
+    executor = _executor_from_args(
+        args, journal_name=f"export-{args.experiment}-{args.scale}"
+    )
     sweep = run_sweep(
         experiment.specs(Scale(args.scale)),
-        processes=args.processes,
         progress=True,
+        executor=executor,
     )
     wait_metric = (
         "waiting_excl_delay" if args.experiment in ("fig5", "fig6") else "waiting"
@@ -517,6 +649,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     script = export_sweep(
         sweep, args.output, title=args.experiment, wait_metric=wait_metric
     )
+    _print_exec_stats(sweep)
     print(f"gnuplot data and script written to {script.parent}")
     print(f"render with: cd {script.parent} && gnuplot {script.name}")
     return 0
@@ -536,7 +669,11 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     if args.stripe is not None:
         params["stripe_events"] = args.stripe
     replicated = run_replications(
-        config, args.policy, n_replications=args.replications, **params
+        config,
+        args.policy,
+        n_replications=args.replications,
+        processes=args.jobs,
+        **params,
     )
     rows = [
         [name, str(estimate)]
@@ -561,7 +698,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     config = paper_config(duration=args.days * units.DAY)
     table = calibrate_delay_table(
-        config, stripe_events=args.stripe, processes=args.processes
+        config, stripe_events=args.stripe, processes=args.jobs
     )
     print(summarize_table(table))
     print("\nPython literal for AdaptiveDelayPolicy(delay_table=...):")
@@ -669,6 +806,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "run-all":
         return _cmd_run_all(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "trace":

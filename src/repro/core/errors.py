@@ -50,6 +50,12 @@ class InvariantViolation(ReproError):
     the simulator or a policy, never a user error."""
 
 
+class ExecError(ReproError):
+    """The execution layer (``repro.exec``) failed a batch: one or more
+    specs errored in ``raise`` mode, or a journal/cache store is
+    unusable."""
+
+
 class OverloadedError(ReproError):
     """Raised by strict analyses when asked for steady-state statistics of
     a simulation that left steady state (queues growing without bound)."""

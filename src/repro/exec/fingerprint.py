@@ -1,0 +1,61 @@
+"""Content-addressed fingerprints of sweep points.
+
+A spec's fingerprint is the SHA-256 of a canonical JSON rendering of
+everything that determines its simulation output: the full
+:class:`~repro.sim.config.SimulationConfig`, the policy name, the policy
+parameters, and the results schema version (so a schema bump invalidates
+every cached result instead of serving stale layouts).  The spec *label*
+is deliberately excluded — it is presentation, not physics — so renaming
+a curve reuses the cached point.
+
+Fingerprints are stable across processes, platforms and ``--jobs``
+settings: the JSON is rendered with sorted keys, no whitespace, and a
+deterministic fallback encoder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from ..sim.runner import RunSpec
+
+#: Bump when the fingerprint recipe itself changes (canonicalisation,
+#: included fields), orthogonally to the results schema version.
+FINGERPRINT_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively convert ``value`` into canonical JSON-ready form."""
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Anything exotic (enums, dataclasses smuggled through policy params)
+    # falls back to repr, which is deterministic for the types we accept.
+    return repr(value)
+
+
+def spec_payload(spec: "RunSpec", schema_version: int) -> Dict[str, Any]:
+    """The canonical dict a fingerprint hashes (exposed for tests)."""
+    return {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "schema_version": schema_version,
+        "config": _canonical(spec.config.to_dict()),
+        "policy": spec.policy,
+        "policy_params": _canonical(dict(spec.policy_params)),
+    }
+
+
+def spec_fingerprint(spec: "RunSpec", schema_version: int) -> str:
+    """Hex SHA-256 fingerprint of one sweep point."""
+    rendered = json.dumps(
+        spec_payload(spec, schema_version),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()

@@ -1,0 +1,140 @@
+"""The sweep checkpoint journal (``*.journal.jsonl``).
+
+Every finished slot of a sweep is appended as one JSON line the moment it
+completes, so an interrupted sweep leaves a durable record of exactly
+which points are done.  Re-invoking the sweep with ``--resume`` loads the
+journal, restores the completed points' payloads from the result cache,
+and runs only the missing specs.
+
+The journal is identification, not storage: payloads live in the
+content-addressed :class:`~repro.exec.cache.ResultCache`, keyed by the
+same fingerprint each line carries.  A journal line whose payload is no
+longer in the cache simply causes that spec to re-run.  Failed slots are
+recorded with ``status="error"`` and are *not* treated as complete — a
+resume retries them.
+
+Loading tolerates a truncated final line (the signature of a run killed
+mid-append); everything before it is kept.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+#: Bump when the line layout changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One completed (or failed) sweep slot."""
+
+    fingerprint: str
+    index: int
+    label: str
+    policy: str
+    status: str  # "ok" | "error"
+    attempts: int = 1
+    error_kind: str = ""
+    error_message: str = ""
+
+    def to_line(self) -> str:
+        payload = {
+            "v": JOURNAL_VERSION,
+            "fingerprint": self.fingerprint,
+            "index": self.index,
+            "label": self.label,
+            "policy": self.policy,
+            "status": self.status,
+            "attempts": self.attempts,
+        }
+        if self.status == "error":
+            payload["error_kind"] = self.error_kind
+            payload["error_message"] = self.error_message
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_line(cls, line: str) -> Optional["JournalEntry"]:
+        """Parse one line; ``None`` for blank, torn or alien lines."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            return None  # torn final line of an interrupted run
+        if not isinstance(payload, dict):
+            return None
+        if int(payload.get("v", -1)) != JOURNAL_VERSION:
+            return None
+        try:
+            return cls(
+                fingerprint=str(payload["fingerprint"]),
+                index=int(payload["index"]),
+                label=str(payload["label"]),
+                policy=str(payload["policy"]),
+                status=str(payload["status"]),
+                attempts=int(payload.get("attempts", 1)),
+                error_kind=str(payload.get("error_kind", "")),
+                error_message=str(payload.get("error_message", "")),
+            )
+        except (KeyError, ValueError, TypeError):
+            return None
+
+
+class SweepJournal:
+    """Append-only JSONL writer with crash-tolerant loading."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> List[JournalEntry]:
+        """All parseable entries of an existing journal (``[]`` if none)."""
+        path = Path(path)
+        if not path.is_file():
+            return []
+        entries: List[JournalEntry] = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                entry = JournalEntry.from_line(line)
+                if entry is not None:
+                    entries.append(entry)
+        return entries
+
+    @staticmethod
+    def completed(entries: List[JournalEntry]) -> Dict[str, JournalEntry]:
+        """Fingerprint → entry for every successfully completed slot."""
+        return {
+            entry.fingerprint: entry
+            for entry in entries
+            if entry.status == "ok"
+        }
+
+    def open(self, truncate: bool = True) -> None:
+        """Open for writing; a fresh (non-resume) run truncates."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(  # noqa: SIM115 - lifetime managed by close()
+            self.path, "w" if truncate else "a", encoding="utf-8"
+        )
+
+    def append(self, entry: JournalEntry) -> None:
+        """Write one entry and flush — the line must survive a kill."""
+        assert self._handle is not None, "journal not open"
+        self._handle.write(entry.to_line() + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

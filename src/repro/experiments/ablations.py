@@ -20,7 +20,7 @@ from .registry import Experiment, Scale, register_experiment
 
 def _single_load_render(sweep: SweepResult, title: str) -> str:
     rows = []
-    for spec, result in zip(sweep.specs, sweep.results):
+    for spec, result in sweep.pairs():
         rows.append(
             [
                 spec.label,
@@ -161,7 +161,7 @@ def _fairness_build(scale: Scale) -> List[RunSpec]:
 
 def _fairness_render(sweep: SweepResult) -> str:
     rows = []
-    for spec, result in zip(sweep.specs, sweep.results):
+    for spec, result in sweep.pairs():
         promos = result.policy_stats.get("fairness_promotions", 0.0)
         arrivals = max(result.jobs_arrived, 1)
         rows.append(

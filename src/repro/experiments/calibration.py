@@ -11,11 +11,14 @@ consumes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..core import units
 from ..sim.config import SimulationConfig
 from ..sim.runner import RunSpec, load_sweep, run_sweep
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.executor import Executor
 
 #: Candidate delays matching the paper's Fig 5 sweep, plus zero.
 DEFAULT_CANDIDATE_DELAYS: Tuple[float, ...] = (
@@ -32,6 +35,7 @@ def max_sustained_load_for_delay(
     stripe_events: int,
     loads_per_hour: Sequence[float],
     processes: Optional[int] = None,
+    executor: Optional["Executor"] = None,
 ) -> float:
     """Highest offered load (from the given grid) that stays in steady
     state under delayed scheduling with ``delay``."""
@@ -43,8 +47,8 @@ def max_sustained_load_for_delay(
         period=delay,
         stripe_events=stripe_events,
     )
-    sweep = run_sweep(specs, processes=processes)
-    sustained = [r.load_per_hour for r in sweep.results if r.steady]
+    sweep = run_sweep(specs, processes=processes, executor=executor)
+    sustained = [r.load_per_hour for _, r in sweep.pairs() if r.steady]
     return max(sustained) if sustained else 0.0
 
 
@@ -55,6 +59,7 @@ def calibrate_delay_table(
     loads_per_hour: Optional[Sequence[float]] = None,
     headroom: float = 0.95,
     processes: Optional[int] = None,
+    executor: Optional["Executor"] = None,
 ) -> List[Tuple[float, float]]:
     """Measure a (sustainable load fraction → delay) table.
 
@@ -70,7 +75,8 @@ def calibrate_delay_table(
     floor = 0.0
     for delay in sorted(delays):
         ceiling = max_sustained_load_for_delay(
-            config, delay, stripe_events, loads_per_hour, processes=processes
+            config, delay, stripe_events, loads_per_hour,
+            processes=processes, executor=executor,
         )
         fraction = max(floor, headroom * ceiling / maximum)
         floor = fraction

@@ -53,7 +53,7 @@ def _fairness_render(sweep: SweepResult) -> str:
         "max slowdn", "Gini(wait)", "overtaken(start)", "overtaken(done)",
     ]
     rows = []
-    for spec, result in zip(sweep.specs, sweep.results):
+    for spec, result in sweep.pairs():
         warmup = spec.config.warmup_time
         records = [r for r in result.records if r.arrival_time >= warmup]
         report = fairness_report(records)
@@ -123,7 +123,7 @@ def _network_build(scale: Scale) -> List[RunSpec]:
 
 def _network_render(sweep: SweepResult) -> str:
     rows = []
-    for spec, result in zip(sweep.specs, sweep.results):
+    for spec, result in sweep.pairs():
         stats = result.policy_stats
         rows.append(
             [
@@ -202,7 +202,7 @@ def _diurnal_render(sweep: SweepResult) -> str:
     )
     trace = workload.generate_list(base_config.duration)
     rows = []
-    for spec, constant_result in zip(sweep.specs, sweep.results):
+    for spec, constant_result in sweep.pairs():
         params = dict(spec.policy_params)
         diurnal_result = run_simulation(
             spec.config, spec.policy, trace=trace, **params

@@ -66,7 +66,7 @@ def _faults_build(scale: Scale) -> List[RunSpec]:
 
 def _faults_render(sweep: SweepResult) -> str:
     rows = []
-    for spec, result in zip(sweep.specs, sweep.results):
+    for spec, result in sweep.pairs():
         faults = result.faults
         duration = spec.config.duration * spec.config.n_nodes
         if faults is None:

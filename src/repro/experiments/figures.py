@@ -184,7 +184,7 @@ def _fig4_build(scale: Scale) -> List[RunSpec]:
 
 def _fig4_render(sweep: SweepResult) -> str:
     parts: List[str] = []
-    for spec, result in zip(sweep.specs, sweep.results):
+    for spec, result in sweep.pairs():
         waits = result.measured.waiting_times
         hist = waiting_time_histogram(waits)
         parts.append(
@@ -370,7 +370,7 @@ def _repl_build(scale: Scale) -> List[RunSpec]:
 def _repl_render(sweep: SweepResult) -> str:
     parts = [_speedup_and_wait(sweep, title="§4.2 replication study")]
     rows = []
-    for spec, result in zip(sweep.specs, sweep.results):
+    for spec, result in sweep.pairs():
         stats = result.policy_stats
         arrivals = max(result.jobs_arrived, 1)
         rows.append(
@@ -508,7 +508,7 @@ def _farmq_build(scale: Scale) -> List[RunSpec]:
 
 def _farmq_render(sweep: SweepResult) -> str:
     rows = []
-    for spec, result in zip(sweep.specs, sweep.results):
+    for spec, result in sweep.pairs():
         config = spec.config
         prediction = merlang_wait(
             servers=config.n_nodes,
@@ -579,7 +579,7 @@ def _nodes_build(scale: Scale) -> List[RunSpec]:
 
 def _nodes_render(sweep: SweepResult) -> str:
     rows = []
-    for spec, result in zip(sweep.specs, sweep.results):
+    for spec, result in sweep.pairs():
         config = spec.config
         rows.append(
             [

@@ -4,16 +4,24 @@
 markdown report in the EXPERIMENTS.md format: one section per experiment
 with the paper's qualitative claim, our measured series, and a PASS/CHECK
 shape assessment where one can be computed mechanically.
+
+Experiment sweeps run through the execution layer in *capture* mode: a
+crashed point is reported as a structured error line instead of taking
+the whole figure down, and with a cache-enabled executor a re-rendered
+figure reuses every already-computed point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..core.clock import wall_clock
 from ..sim.runner import SweepResult, run_sweep
 from .registry import Experiment, Scale, all_experiments, get_experiment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.executor import Executor
 
 
 @dataclass
@@ -24,17 +32,40 @@ class ExperimentOutcome:
     wall_seconds: float
 
 
+def _render_errors(sweep: SweepResult) -> str:
+    """Error lines appended to a rendering when points crashed."""
+    lines = [
+        f"FAILED POINTS ({sweep.n_failed} of {len(sweep.specs)}):"
+    ]
+    for _, error in sweep.errors():
+        lines.append(f"  {error.brief()}")
+    return "\n".join(lines)
+
+
 def run_experiment(
     exp_id: str,
     scale: Scale = Scale.QUICK,
     processes: Optional[int] = None,
     progress: bool = False,
+    executor: Optional["Executor"] = None,
 ) -> ExperimentOutcome:
-    """Run one registered experiment end to end."""
+    """Run one registered experiment end to end.
+
+    A crashed sweep point becomes an error line in the rendering rather
+    than an exception — the surviving points still draw the figure.
+    """
     experiment = get_experiment(exp_id)
     started = wall_clock()
-    sweep = run_sweep(experiment.specs(scale), processes=processes, progress=progress)
+    sweep = run_sweep(
+        experiment.specs(scale),
+        processes=processes,
+        progress=progress,
+        executor=executor,
+        on_error="capture",
+    )
     rendered = experiment.render(sweep)
+    if sweep.n_failed:
+        rendered = rendered + "\n\n" + _render_errors(sweep)
     return ExperimentOutcome(
         experiment=experiment,
         sweep=sweep,
@@ -48,10 +79,17 @@ def run_all(
     exp_ids: Optional[Sequence[str]] = None,
     processes: Optional[int] = None,
     progress: bool = False,
+    executor: Optional["Executor"] = None,
 ) -> List[ExperimentOutcome]:
     ids = list(exp_ids) if exp_ids else [e.exp_id for e in all_experiments()]
     return [
-        run_experiment(exp_id, scale=scale, processes=processes, progress=progress)
+        run_experiment(
+            exp_id,
+            scale=scale,
+            processes=processes,
+            progress=progress,
+            executor=executor,
+        )
         for exp_id in ids
     ]
 

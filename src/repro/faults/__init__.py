@@ -23,7 +23,7 @@ Enable with ``SimulationConfig(faults=FaultConfig(...))`` or the CLI's
 
 from .injector import FaultInjector
 from .processes import FaultEvent, build_fault_schedule
-from .recovery import RecoveryManager, backoff_delay
+from .recovery import RecoveryManager, backoff_delay, exponential_backoff
 
 __all__ = [
     "FaultEvent",
@@ -31,4 +31,5 @@ __all__ = [
     "RecoveryManager",
     "backoff_delay",
     "build_fault_schedule",
+    "exponential_backoff",
 ]

@@ -38,15 +38,29 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sched.base import SchedulerPolicy
 
 
+def exponential_backoff(
+    attempt: int, base: float, factor: float, cap: float
+) -> float:
+    """Capped exponential backoff before retry number ``attempt``
+    (1-based): ``base * factor**(attempt-1)``, at most ``cap``.
+
+    Shared by the in-simulation :class:`RecoveryManager` and the
+    execution layer's (``repro.exec``) worker retries.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    return min(base * factor ** (attempt - 1), cap)
+
+
 def backoff_delay(attempt: int, config: FaultConfig) -> float:
     """The backoff before retry number ``attempt`` (1-based):
     ``base * factor**(attempt-1)``, capped at ``retry_backoff_max``."""
-    if attempt < 1:
-        raise ValueError(f"attempt must be >= 1, got {attempt}")
-    delay = config.retry_backoff_base * (
-        config.retry_backoff_factor ** (attempt - 1)
+    return exponential_backoff(
+        attempt,
+        config.retry_backoff_base,
+        config.retry_backoff_factor,
+        config.retry_backoff_max,
     )
-    return min(delay, config.retry_backoff_max)
 
 
 class _PendingRetry:

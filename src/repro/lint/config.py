@@ -27,11 +27,14 @@ DEFAULT_OBS_MODULES: Tuple[str, ...] = ("*/obs/*.py",)
 #: Modules allowed to perform I/O (SIM006): the CLI, exporters, the obs
 #: sinks, the sweep runner's progress output, workload-trace files, the
 #: benchmark harness (``repro.perf`` reads/writes BENCH_*.json and runs
-#: ``git rev-parse``) — and the top-level driver scripts (benchmarks/,
-#: examples/), whose entire job is terminal output.
+#: ``git rev-parse``), the execution layer (``repro.exec`` owns the
+#: result cache and checkpoint journal on disk) — and the top-level
+#: driver scripts (benchmarks/, examples/), whose entire job is
+#: terminal output.
 DEFAULT_IO_MODULES: Tuple[str, ...] = (
     "*/cli.py",
     "*/__main__.py",
+    "*/exec/*.py",
     "*/obs/*.py",
     "*/perf/*.py",
     "*/sim/export.py",

@@ -29,9 +29,12 @@ from ..core.clock import wall_clock
 from ..core.engine import Engine
 from ..data.cache import LRUSegmentCache
 from ..data.intervals import Interval, IntervalSet
+from ..exec.executor import Executor
+from ..exec.fingerprint import spec_fingerprint
+from ..exec.outcomes import SpecError
 from ..sched import available_policies
 from ..sim.config import SimulationConfig, paper_config, quick_config
-from ..sim.simulator import run_simulation
+from ..sim.runner import RunSpec
 from .profiling import profile_call
 from .report import BenchRecord, BenchReport, Hotspot
 
@@ -212,6 +215,45 @@ def bench_intervalset_ops(n_ops: int = 50_000, repeats: int = KERNEL_REPEATS) ->
     )
 
 
+def bench_exec_fingerprint(
+    n_specs: int = 2_000, repeats: int = KERNEL_REPEATS
+) -> BenchRecord:
+    """Content-addressed fingerprinting throughput of the execution layer
+    (one fingerprint per sweep point on every cache lookup).
+
+    >>> bench_exec_fingerprint(n_specs=10, repeats=1).name
+    'exec.fingerprint'
+    """
+
+    def setup() -> Callable[[], None]:
+        rng = _Lcg(seed=6)
+        specs = [
+            RunSpec.make(
+                quick_config(
+                    seed=rng.below(1_000),
+                    arrival_rate_per_hour=0.5 + 0.25 * rng.below(10),
+                ),
+                "farm",
+            )
+            for _ in range(n_specs)
+        ]
+
+        def run() -> None:
+            for spec in specs:
+                spec_fingerprint(spec, schema_version=3)
+
+        return run
+
+    wall = _best_of(setup, repeats)
+    return BenchRecord(
+        name="exec.fingerprint",
+        wall_seconds=wall,
+        work=n_specs,
+        unit="specs",
+        repeats=repeats,
+    )
+
+
 def bench_cache_lru(n_ops: int = 30_000, repeats: int = KERNEL_REPEATS) -> BenchRecord:
     """LRU segment-cache insert/touch/query churn with steady eviction
     pressure (the cache holds ~10% of the touched data space).
@@ -280,11 +322,20 @@ def bench_simulation(
     True
     """
     work = 0
+    # The macro benches route through the execution layer like every
+    # other sweep; a serial, cache-free executor so the measured wall
+    # time is the simulation itself, not pool forking or pickle I/O.
+    executor = Executor(jobs=1)
 
     def setup() -> Callable[[], None]:
+        spec = RunSpec.make(config_factory(), policy)
+
         def run() -> None:
             nonlocal work
-            result = run_simulation(config_factory(), policy)
+            outcome = executor.run([spec])
+            result = outcome.results[0]
+            if isinstance(result, SpecError):  # pragma: no cover - bench guard
+                raise RuntimeError(f"benchmark spec failed: {result.brief()}")
             work = sum(result.events_by_source.values())
 
         return run
@@ -336,6 +387,7 @@ def run_kernel_bench(
         lambda: bench_interval_ops(100_000 // scale, repeats),
         lambda: bench_intervalset_ops(50_000 // scale, repeats),
         lambda: bench_cache_lru(30_000 // scale, repeats),
+        lambda: bench_exec_fingerprint(2_000 // scale, repeats),
     )
     records = tuple(_maybe_profile(build, profile) for build in builders)
     return BenchReport(kind="kernel", records=records)

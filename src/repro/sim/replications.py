@@ -12,13 +12,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .config import SimulationConfig
 from .runner import RunSpec, run_sweep
 from .simulator import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.executor import Executor
 
 #: Two-sided Student-t critical values at 95 % for small sample sizes
 #: (index = degrees of freedom); avoids a scipy dependency in the core.
@@ -117,12 +120,15 @@ def run_replications(
     n_replications: int = 5,
     base_seed: int = 1000,
     processes: Optional[int] = None,
+    executor: Optional["Executor"] = None,
     **policy_params,
 ) -> ReplicatedResult:
     """Run ``n_replications`` seeds and aggregate the headline metrics.
 
     Seeds are ``base_seed + i``; each replication draws an entirely fresh
     workload, so the CI captures both workload and scheduling variance.
+    The replications run through the execution layer (``repro.exec``);
+    pass ``executor`` to enable result caching or retries.
     """
     if n_replications < 1:
         raise ValueError(f"n_replications must be >= 1, got {n_replications}")
@@ -135,11 +141,13 @@ def run_replications(
         )
         for index in range(n_replications)
     ]
-    sweep = run_sweep(specs, processes=processes)
-    replicated = ReplicatedResult(policy=policy, results=list(sweep.results))
+    sweep = run_sweep(specs, processes=processes, executor=executor)
+    replicated = ReplicatedResult(
+        policy=policy, results=[result for _, result in sweep.pairs()]
+    )
     for name, extract in _METRICS.items():
         replicated.estimates[name] = estimate(
-            [extract(result) for result in sweep.results]
+            [extract(result) for result in replicated.results]
         )
     return replicated
 
@@ -150,6 +158,7 @@ def compare_policies(
     n_replications: int = 5,
     base_seed: int = 1000,
     processes: Optional[int] = None,
+    executor: Optional["Executor"] = None,
 ) -> Dict[str, ReplicatedResult]:
     """Replicated comparison of several policies on matched seeds.
 
@@ -163,6 +172,7 @@ def compare_policies(
             n_replications=n_replications,
             base_seed=base_seed,
             processes=processes,
+            executor=executor,
             **params,
         )
         for name, params in policies

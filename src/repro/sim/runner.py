@@ -1,11 +1,14 @@
-"""Experiment runner: parameter sweeps with optional multiprocessing.
+"""Experiment runner: parameter sweeps through the execution layer.
 
 A sweep is a list of :class:`RunSpec` (config + policy + policy
 parameters, built with :meth:`RunSpec.make` or the :func:`load_sweep`
-helper).  :func:`run_sweep` executes the specs — serially for small
-sweeps, across a process pool otherwise — and returns a
-:class:`SweepResult` pairing each spec with its
-:class:`~repro.sim.simulator.SimulationResult`.
+helper).  :func:`run_sweep` hands the specs to a
+:class:`repro.exec.Executor` — serial for small sweeps, a process pool
+otherwise, with streamed per-completion progress, crash isolation and
+optional content-addressed caching — and returns a :class:`SweepResult`
+pairing each spec with its
+:class:`~repro.sim.simulator.SimulationResult` (or, in ``capture`` mode,
+the :class:`~repro.exec.SpecError` that felled it).
 
 ``SweepResult`` then post-processes the pairs:
 
@@ -13,19 +16,40 @@ sweeps, across a process pool otherwise — and returns a
   paper's figure format, with overloaded points cut off by default;
 * :meth:`SweepResult.max_sustained_load` — highest steady load per label;
 * :meth:`SweepResult.by_label` / :meth:`SweepResult.to_json` — grouping
-  and machine-readable export.
+  and machine-readable export (summary-JSON v3 conventions:
+  ``schema_version``, per-point ``seed`` and fault summary).
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
-import os
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from ..core.errors import ExecError
+from ..exec.outcomes import ExecStats, Progress, SpecError
 from .config import SimulationConfig
 from .simulator import SimulationResult, run_simulation
+
+if TYPE_CHECKING:  # pragma: no cover - the executor imports us back lazily
+    from ..exec.executor import Executor
+
+#: Sweep-export schema version; tracks the summary-JSON conventions
+#: (v3 added ``schema_version``, ``seed`` and the ``faults`` object).
+SWEEP_SCHEMA_VERSION = 3
+
+#: One slot of a sweep: the result, or the structured failure.
+SpecOutcome = Union[SimulationResult, SpecError]
 
 
 @dataclass(frozen=True)
@@ -59,15 +83,42 @@ def _execute(spec: RunSpec) -> SimulationResult:
 
 @dataclass
 class SweepResult:
-    """Results of a sweep, keyed by spec order."""
+    """Results of a sweep, keyed by spec order.
+
+    ``results`` holds one entry per spec: a ``SimulationResult``, or a
+    :class:`~repro.exec.SpecError` when the sweep ran in ``capture`` mode
+    and that point crashed.  The analysis accessors silently skip failed
+    slots; :meth:`errors` lists them.
+    """
 
     specs: List[RunSpec]
-    results: List[SimulationResult]
+    results: List[SpecOutcome]
+    #: Execution accounting (cache hits, retries, wall time) when the
+    #: sweep ran through an executor; not part of the JSON export.
+    stats: Optional[ExecStats] = field(default=None, compare=False)
+
+    def pairs(self) -> Iterator[Tuple[RunSpec, SimulationResult]]:
+        """(spec, result) for every *successful* slot, in spec order."""
+        for spec, outcome in zip(self.specs, self.results):
+            if not isinstance(outcome, SpecError):
+                yield spec, outcome
+
+    def errors(self) -> List[Tuple[RunSpec, SpecError]]:
+        """(spec, error) for every failed slot, in spec order."""
+        return [
+            (spec, outcome)
+            for spec, outcome in zip(self.specs, self.results)
+            if isinstance(outcome, SpecError)
+        ]
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for outcome in self.results if isinstance(outcome, SpecError))
 
     def by_label(self) -> Dict[str, List[SimulationResult]]:
         """Group results by spec label, preserving order within groups."""
         groups: Dict[str, List[SimulationResult]] = {}
-        for spec, result in zip(self.specs, self.results):
+        for spec, result in self.pairs():
             groups.setdefault(spec.label, []).append(result)
         return groups
 
@@ -100,24 +151,40 @@ class SweepResult:
         return out
 
     def to_json(self) -> str:
-        payload = []
-        for spec, result in zip(self.specs, self.results):
-            payload.append(
-                {
-                    "label": spec.label,
-                    "policy": spec.policy,
-                    "policy_params": dict(spec.policy_params),
-                    "load_per_hour": result.load_per_hour,
-                    "mean_speedup": result.measured.mean_speedup,
-                    "mean_waiting": result.measured.mean_waiting,
-                    "mean_waiting_excl_delay": result.measured.mean_waiting_excl_delay,
-                    "mean_processing": result.measured.mean_processing,
-                    "n_jobs": result.measured.n_jobs,
-                    "overloaded": result.overload.overloaded,
-                    "tertiary_redundancy": result.tertiary_redundancy,
-                    "node_utilization": result.node_utilization,
-                }
-            )
+        """Summary-JSON v3 export: deterministic for a given sweep —
+        byte-identical across ``--jobs`` settings, cache hits and
+        resumed runs."""
+        points = []
+        for spec, outcome in zip(self.specs, self.results):
+            entry = {
+                "label": spec.label,
+                "policy": spec.policy,
+                "policy_params": dict(spec.policy_params),
+                "seed": spec.config.seed,
+            }
+            if isinstance(outcome, SpecError):
+                entry["error"] = outcome.as_dict()
+            else:
+                entry.update(
+                    {
+                        "load_per_hour": outcome.load_per_hour,
+                        "mean_speedup": outcome.measured.mean_speedup,
+                        "mean_waiting": outcome.measured.mean_waiting,
+                        "mean_waiting_excl_delay": outcome.measured.mean_waiting_excl_delay,
+                        "mean_processing": outcome.measured.mean_processing,
+                        "n_jobs": outcome.measured.n_jobs,
+                        "overloaded": outcome.overload.overloaded,
+                        "tertiary_redundancy": outcome.tertiary_redundancy,
+                        "node_utilization": outcome.node_utilization,
+                        "faults": (
+                            outcome.faults.as_dict()
+                            if outcome.faults is not None
+                            else None
+                        ),
+                    }
+                )
+            points.append(entry)
+        payload = {"schema_version": SWEEP_SCHEMA_VERSION, "results": points}
         return json.dumps(payload, indent=2, default=float)
 
 
@@ -139,30 +206,54 @@ def _metric(result: SimulationResult, metric: str) -> float:
     raise KeyError(f"unknown metric {metric!r}")
 
 
+def _print_progress(progress: Progress) -> None:  # pragma: no cover - console
+    print(f"[{progress.done}/{progress.total}] {progress.brief}", flush=True)
+
+
 def run_sweep(
     specs: Sequence[RunSpec],
     processes: Optional[int] = None,
     progress: bool = False,
+    *,
+    executor: Optional["Executor"] = None,
+    on_error: str = "raise",
 ) -> SweepResult:
-    """Run all specs; ``processes=None`` picks a sensible default
-    (serial for small sweeps, a process pool otherwise)."""
+    """Run all specs through the execution layer.
+
+    ``processes=None`` picks a sensible default (serial for small sweeps,
+    a process pool otherwise; ``$REPRO_JOBS`` overrides).  Pass a
+    preconfigured :class:`repro.exec.Executor` to enable result caching,
+    journaling/resume, retries or observability.
+
+    ``on_error="raise"`` (the default) raises :class:`ExecError` if any
+    spec failed — the historical abort semantics; ``on_error="capture"``
+    leaves each failure as a :class:`~repro.exec.SpecError` in its slot
+    so one bad point cannot take down the sweep.
+    """
+    from ..exec.executor import Executor
+
+    if on_error not in ("raise", "capture"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'capture', got {on_error!r}"
+        )
     specs = list(specs)
-    if processes is None:
-        processes = 1 if len(specs) <= 2 else min(len(specs), os.cpu_count() or 1)
-    if processes <= 1:
-        results = []
-        for index, spec in enumerate(specs):
-            result = _execute(spec)
-            if progress:  # pragma: no cover - console feedback only
-                print(f"[{index + 1}/{len(specs)}] {result.brief()}", flush=True)
-            results.append(result)
-        return SweepResult(specs=specs, results=results)
-    with multiprocessing.Pool(processes=processes) as pool:
-        results = pool.map(_execute, specs)
-    if progress:  # pragma: no cover
-        for result in results:
-            print(result.brief(), flush=True)
-    return SweepResult(specs=specs, results=results)
+    if executor is None:
+        executor = Executor(jobs=processes)
+    elif processes is not None:
+        executor.jobs = processes
+    outcome = executor.run(
+        specs, progress=_print_progress if progress else None
+    )
+    sweep = SweepResult(
+        specs=specs, results=outcome.results, stats=outcome.stats
+    )
+    if on_error == "raise" and sweep.n_failed:
+        first = sweep.errors()[0][1]
+        raise ExecError(
+            f"{sweep.n_failed} of {len(specs)} sweep specs failed; first: "
+            f"{first.brief()}\n{first.traceback}"
+        )
+    return sweep
 
 
 def load_sweep(

@@ -79,6 +79,8 @@ class TestRun:
                 "smoke",
                 "--processes",
                 "1",
+                "--cache-dir",
+                str(tmp_path / "cache"),
                 "--output",
                 str(out_file),
             ]
@@ -102,8 +104,9 @@ class TestRun:
                 "smoke",
                 "--only",
                 "farmq",
-                "--processes",
+                "--jobs",
                 "1",
+                "--no-cache",
                 "--output",
                 str(out_file),
             ]
@@ -153,6 +156,7 @@ class TestExport:
                 "smoke",
                 "--processes",
                 "1",
+                "--no-cache",
                 "-o",
                 str(tmp_path / "fig"),
             ]
@@ -160,3 +164,67 @@ class TestExport:
         assert code == 0
         assert (tmp_path / "fig" / "plot.gp").exists()
         assert list((tmp_path / "fig").glob("*.dat"))
+
+
+class TestSweep:
+    def _sweep(self, tmp_path, name, extra=()):
+        out = tmp_path / name
+        code = main(
+            [
+                "sweep",
+                "farmq",
+                "--scale",
+                "smoke",
+                "--jobs",
+                "1",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "-o",
+                str(out),
+                *extra,
+            ]
+        )
+        return code, out
+
+    def test_sweep_writes_v3_json(self, capsys, tmp_path):
+        import json
+
+        code, out = self._sweep(tmp_path, "sweep.json")
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 3
+        assert all("seed" in point for point in payload["results"])
+        assert "exec: total=" in capsys.readouterr().out
+
+    def test_second_sweep_is_all_cache_hits_and_bit_identical(
+        self, capsys, tmp_path
+    ):
+        _, first = self._sweep(tmp_path, "first.json")
+        capsys.readouterr()
+        code, second = self._sweep(tmp_path, "second.json")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executed=0" in out
+        assert "cache_hits=" in out and "cache_hits=0" not in out
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_resume_reruns_nothing_and_matches(self, capsys, tmp_path):
+        _, first = self._sweep(tmp_path, "first.json")
+        capsys.readouterr()
+        code, resumed = self._sweep(tmp_path, "resumed.json", extra=["--resume"])
+        assert code == 0
+        assert "resumed=" in capsys.readouterr().out
+        assert first.read_bytes() == resumed.read_bytes()
+
+    def test_resume_without_cache_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep",
+                    "farmq",
+                    "--scale",
+                    "smoke",
+                    "--no-cache",
+                    "--resume",
+                ]
+            )

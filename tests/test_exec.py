@@ -1,0 +1,322 @@
+"""Tests for the execution layer (repro.exec).
+
+Covers the tentpole guarantees: content-addressed fingerprints and
+caching, crash isolation with bounded retries, journal-based resume,
+and bit-identical sweep output regardless of the worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.core import units
+from repro.core.errors import ExecError
+from repro.exec import (
+    Executor,
+    JournalEntry,
+    NO_RETRY,
+    RetryPolicy,
+    ResultCache,
+    SpecError,
+    SweepJournal,
+    make_cache,
+    resolve_jobs,
+    run_with_retries,
+    spec_fingerprint,
+)
+from repro.sim.config import quick_config
+from repro.sim.runner import RunSpec, load_sweep, run_sweep
+
+
+def _specs(n=3, policy="farm", **kwargs):
+    loads = [0.5 + 0.5 * i for i in range(n)]
+    return load_sweep(
+        quick_config(duration=units.DAY, **kwargs), policy, loads
+    )
+
+
+def _bad_spec(label="boom"):
+    return RunSpec.make(quick_config(duration=units.DAY), "no-such-policy",
+                        label=label)
+
+
+class TestFingerprint:
+    def test_stable_for_equal_specs(self):
+        a = RunSpec.make(quick_config(), "farm", label="x")
+        b = RunSpec.make(quick_config(), "farm", label="x")
+        assert spec_fingerprint(a, 3) == spec_fingerprint(b, 3)
+
+    def test_label_is_presentation_only(self):
+        a = RunSpec.make(quick_config(), "farm", label="one")
+        b = RunSpec.make(quick_config(), "farm", label="two")
+        assert spec_fingerprint(a, 3) == spec_fingerprint(b, 3)
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            RunSpec.make(quick_config(seed=99), "farm"),
+            RunSpec.make(quick_config(), "out-of-order"),
+            RunSpec.make(quick_config(), "delayed", period=100.0),
+        ],
+    )
+    def test_sensitive_to_config_policy_params(self, other):
+        base = RunSpec.make(quick_config(), "farm")
+        assert spec_fingerprint(base, 3) != spec_fingerprint(other, 3)
+
+    def test_sensitive_to_schema_version(self):
+        spec = RunSpec.make(quick_config(), "farm")
+        assert spec_fingerprint(spec, 3) != spec_fingerprint(spec, 4)
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "store", schema_version=3)
+        fp = "ab" + "0" * 62
+        assert cache.get(fp) is None
+        cache.put(fp, {"answer": 42})
+        assert fp in cache
+        assert cache.get(fp) == {"answer": 42}
+        assert (cache.hits, cache.misses, cache.writes) == (1, 1, 1)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "store", schema_version=3)
+        fp = "cd" + "0" * 62
+        cache.put(fp, [1, 2, 3])
+        cache.path_for(fp).write_bytes(b"not a pickle")
+        assert cache.get(fp) is None
+
+    def test_schema_version_namespaces(self, tmp_path):
+        v3 = ResultCache(tmp_path / "store", schema_version=3)
+        v4 = ResultCache(tmp_path / "store", schema_version=4)
+        fp = "ef" + "0" * 62
+        v3.put(fp, "three")
+        assert v4.get(fp) is None
+
+    def test_make_cache_uses_results_schema(self, tmp_path):
+        from repro.sim.export import SCHEMA_VERSION
+
+        assert make_cache(tmp_path).schema_version == SCHEMA_VERSION
+
+
+class TestRetries:
+    def test_flaky_callable_recovers(self):
+        calls = {"n": 0}
+        slept = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        attempts, payload = run_with_retries(
+            flaky, RetryPolicy(max_attempts=3), sleep=slept.append
+        )
+        assert (attempts, payload) == (3, "ok")
+        # Exponential backoff from the fault subsystem: base, base*factor.
+        assert slept == [0.05, 0.1]
+
+    def test_budget_exhaustion_returns_failure(self):
+        def always():
+            raise ValueError("permanent")
+
+        attempts, payload = run_with_retries(
+            always, RetryPolicy(max_attempts=2), sleep=lambda _: None
+        )
+        assert attempts == 2
+        assert payload.kind == "ValueError"
+        assert "permanent" in payload.message
+        assert "ValueError" in payload.traceback
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestResolveJobs:
+    def test_explicit_wins_and_is_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3, 10) == 3
+        assert resolve_jobs(100, 4) == 4
+        assert resolve_jobs(0, 4) == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert resolve_jobs(None, 10) == 2
+        monkeypatch.setenv("REPRO_JOBS", "nope")
+        with pytest.raises(ValueError):
+            resolve_jobs(None, 10)
+
+    def test_tiny_batches_stay_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None, 1) == 1
+        assert resolve_jobs(None, 2) == 1
+
+
+class TestCrashIsolation:
+    def test_bad_spec_lands_in_slot_others_complete(self):
+        specs = _specs(2) + [_bad_spec()]
+        sweep = run_sweep(specs, processes=1, on_error="capture")
+        assert sweep.n_failed == 1
+        error = sweep.results[2]
+        assert isinstance(error, SpecError)
+        assert error.kind == "ConfigurationError"
+        assert error.label == "boom"
+        assert len(list(sweep.pairs())) == 2
+        # Failed slot is an error object in the JSON too.
+        payload = json.loads(sweep.to_json())
+        assert payload["results"][2]["error"]["kind"] == "ConfigurationError"
+
+    def test_pool_mode_survives_crash(self):
+        specs = _specs(3) + [_bad_spec()]
+        sweep = run_sweep(specs, processes=2, on_error="capture")
+        assert sweep.n_failed == 1
+        assert len(list(sweep.pairs())) == 3
+
+    def test_retry_budget_is_accounted(self):
+        executor = Executor(jobs=1, retry=RetryPolicy(
+            max_attempts=2, backoff_base=0.0, backoff_max=0.0))
+        outcome = executor.run([_bad_spec()])
+        error = outcome.results[0]
+        assert isinstance(error, SpecError)
+        assert error.attempts == 2
+        assert outcome.stats.retries == 1
+        assert outcome.stats.failed == 1
+
+    def test_raise_mode_raises_exec_error(self):
+        with pytest.raises(ExecError, match="no-such-policy"):
+            run_sweep([_bad_spec()], processes=1)
+
+
+class TestDeterminism:
+    def test_to_json_bit_identical_across_jobs(self):
+        serial = run_sweep(_specs(4, policy="out-of-order"), processes=1)
+        pooled = run_sweep(_specs(4, policy="out-of-order"), processes=3)
+        assert serial.to_json() == pooled.to_json()
+
+    def test_cache_hits_reproduce_bytes(self, tmp_path):
+        specs = _specs(3)
+        cold = run_sweep(
+            specs, executor=Executor(jobs=1, cache=make_cache(tmp_path))
+        )
+        warm = run_sweep(
+            specs, executor=Executor(jobs=2, cache=make_cache(tmp_path))
+        )
+        assert warm.stats.cache_hits == 3
+        assert warm.stats.executed == 0
+        assert cold.to_json() == warm.to_json()
+
+
+class TestJournalAndResume:
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "s.journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.open()
+            journal.append(JournalEntry("f" * 64, 0, "a", "farm", "ok"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "fingerprint": "tr')  # killed mid-append
+        entries = SweepJournal.load(path)
+        assert len(entries) == 1
+        assert SweepJournal.completed(entries) == {"f" * 64: entries[0]}
+
+    def test_error_entries_are_not_complete(self):
+        entries = [
+            JournalEntry("a" * 64, 0, "x", "farm", "ok"),
+            JournalEntry("b" * 64, 1, "y", "farm", "error",
+                         error_kind="ValueError"),
+        ]
+        assert set(SweepJournal.completed(entries)) == {"a" * 64}
+
+    def test_resume_runs_only_missing_specs(self, tmp_path):
+        specs = _specs(3)
+        cache = make_cache(tmp_path)
+        journal = cache.journal_path("t")
+
+        first = Executor(jobs=1, cache=cache, journal_path=journal)
+        full = first.run(specs)
+
+        # Simulate an interrupted run: keep only the first journal line
+        # and evict the other payloads from the cache.
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 3
+        journal.write_text(lines[0] + "\n")
+        for spec in specs[1:]:
+            make_cache(tmp_path).path_for(
+                spec_fingerprint(spec, cache.schema_version)
+            ).unlink()
+
+        second = Executor(
+            jobs=1, cache=make_cache(tmp_path), journal_path=journal,
+            resume=True,
+        )
+        outcome = second.run(specs)
+        assert outcome.stats.resumed == 1
+        assert outcome.stats.executed == 2
+        assert [r.measured.n_jobs for r in outcome.results] == [
+            r.measured.n_jobs for r in full.results
+        ]
+        # The journal now records the full sweep again.
+        assert len(SweepJournal.load(journal)) == 3
+
+    def test_journal_entry_missing_payload_reruns(self, tmp_path):
+        specs = _specs(1)
+        cache = make_cache(tmp_path)
+        journal = cache.journal_path("gone")
+        Executor(jobs=1, cache=cache, journal_path=journal).run(specs)
+        cache.path_for(
+            spec_fingerprint(specs[0], cache.schema_version)
+        ).unlink()
+        outcome = Executor(
+            jobs=1, cache=make_cache(tmp_path), journal_path=journal,
+            resume=True,
+        ).run(specs)
+        assert outcome.stats.resumed == 0
+        assert outcome.stats.executed == 1
+
+
+class TestProgressStreaming:
+    def test_progress_fires_per_completion_in_pool_mode(self):
+        events = []
+        executor = Executor(jobs=2)
+        executor.run(_specs(4), progress=events.append)
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert all(e.total == 4 for e in events)
+        assert not any(e.cached for e in events)
+
+    def test_progress_marks_cache_hits(self, tmp_path):
+        executor = Executor(jobs=1, cache=make_cache(tmp_path))
+        executor.run(_specs(2))
+        events = []
+        Executor(jobs=1, cache=make_cache(tmp_path)).run(
+            _specs(2), progress=events.append
+        )
+        assert all(e.cached for e in events)
+        assert all(e.brief.startswith("cached ") for e in events)
+
+
+class TestObsIntegration:
+    def test_exec_events_emitted(self):
+        from repro.obs.hooks import HookBus, TraceSink, kinds
+
+        seen = []
+
+        class Collector(TraceSink):
+            def on_event(self, event):
+                seen.append(event.kind)
+
+        bus = HookBus()
+        bus.attach(Collector())
+        executor = Executor(jobs=1, retry=NO_RETRY, obs=bus)
+        executor.run(_specs(1) + [_bad_spec()])
+        assert kinds.EXEC_SWEEP_START in seen
+        assert kinds.EXEC_SPEC_DONE in seen
+        assert kinds.EXEC_SPEC_ERROR in seen
+        assert kinds.EXEC_SWEEP_END in seen
+
+
+class TestStats:
+    def test_brief_is_greppable(self):
+        sweep = run_sweep(_specs(1), processes=1)
+        brief = sweep.stats.brief()
+        assert brief.startswith("exec: total=1 ")
+        assert "cache_hits=0" in brief

@@ -203,6 +203,7 @@ class TestHarness:
             "intervals.arith",
             "intervals.set_ops",
             "cache.lru_ops",
+            "exec.fingerprint",
         ]
         for record in report.records:
             assert record.wall_seconds > 0

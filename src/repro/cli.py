@@ -7,7 +7,7 @@ Subcommands::
     repro limits                        # print the paper's theoretical anchors
     repro run fig3 --scale quick        # regenerate a figure
     repro run-all --scale full -o report.md
-    repro sweep fig3 -o fig3.json       # sweep -> summary-JSON v3
+    repro sweep fig3 -o fig3.json       # sweep -> summary-JSON v4
 
 Sweep-shaped commands (run, run-all, sweep, export, replicate,
 calibrate) share the execution-layer knobs: ``--jobs/-j`` (worker
@@ -42,7 +42,7 @@ from .experiments import (
     run_experiment,
     summarize_table,
 )
-from .sched import available_policies
+from .sched import available_policies, policy_parameters, unknown_policy_message
 from .sim.config import FaultConfig, paper_config
 from .sim.simulator import run_simulation
 
@@ -212,7 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser(
         "sweep",
         help="run an experiment's raw sweep and emit its summary JSON "
-        "(schema v3; deterministic across --jobs, cache hits and --resume)",
+        "(schema v4; deterministic across --jobs, cache hits and --resume)",
     )
     sweep_parser.add_argument("experiment", help="experiment id (e.g. fig3)")
     _add_scale(sweep_parser)
@@ -225,7 +225,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sim_parser = sub.add_parser("simulate", help="run a single simulation")
-    sim_parser.add_argument("--policy", required=True, choices=available_policies())
+    sim_parser.add_argument(
+        "--policy",
+        required=True,
+        help="policy name (see `repro policies`; underscores are accepted)",
+    )
     sim_parser.add_argument("--load", type=float, default=1.0, help="jobs/hour")
     sim_parser.add_argument("--days", type=float, default=20.0)
     sim_parser.add_argument("--cache-gb", type=float, default=100.0)
@@ -233,6 +237,18 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--seed", type=int, default=0)
     sim_parser.add_argument("--period", type=float, default=None, help="seconds")
     sim_parser.add_argument("--stripe", type=int, default=None, help="events")
+    sim_parser.add_argument(
+        "--grant-batch",
+        type=int,
+        default=None,
+        help="decentral: max tasks per grant message",
+    )
+    sim_parser.add_argument(
+        "--task-events",
+        type=int,
+        default=None,
+        help="decentral: rule task size in events",
+    )
     sim_parser.add_argument(
         "--check-invariants",
         action="store_true",
@@ -308,7 +324,11 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_parser = sub.add_parser(
         "replicate", help="replicated runs with 95%% confidence intervals"
     )
-    rep_parser.add_argument("--policy", required=True, choices=available_policies())
+    rep_parser.add_argument(
+        "--policy",
+        required=True,
+        help="policy name (see `repro policies`; underscores are accepted)",
+    )
     rep_parser.add_argument("--load", type=float, default=1.0, help="jobs/hour")
     rep_parser.add_argument("--days", type=float, default=16.0)
     rep_parser.add_argument("--cache-gb", type=float, default=100.0)
@@ -399,9 +419,34 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_policy(name: str, prog: str) -> str:
+    """Normalise a user-supplied policy name or die with a helpful error.
+
+    Shared by simulate/replicate/trace so the unknown-policy message (and
+    its did-you-mean suggestions) is identical everywhere.
+    """
+    resolved = name.replace("_", "-")
+    if resolved not in available_policies():
+        print(f"{prog}: {unknown_policy_message(name)}", file=sys.stderr)
+        raise SystemExit(2)
+    return resolved
+
+
 def _cmd_policies() -> int:
+    rows = []
     for name in available_policies():
-        print(name)
+        params = ", ".join(
+            key if value == "required" else f"{key}={value!r}"
+            for key, value in policy_parameters(name).items()
+        )
+        rows.append([name, params or "-"])
+    print(
+        format_table(
+            ["policy", "tunable parameters (defaults)"],
+            rows,
+            title="Scheduling policies",
+        )
+    )
     return 0
 
 
@@ -494,6 +539,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    policy = _resolve_policy(args.policy, "repro simulate")
     config = paper_config(
         arrival_rate_per_hour=args.load,
         duration=args.days * units.DAY,
@@ -507,9 +553,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         params["period"] = args.period
     if args.stripe is not None:
         params["stripe_events"] = args.stripe
+    if args.grant_batch is not None:
+        params["grant_batch"] = args.grant_batch
+    if args.task_events is not None:
+        params["task_events"] = args.task_events
     result = run_simulation(
         config,
-        args.policy,
+        policy,
         check_invariants=args.check_invariants,
         **params,
     )
@@ -547,6 +597,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ["goodput", f"{faults.goodput:.4f}"],
         ]
         print(format_table(["fault metric", "value"], fault_rows))
+    if result.sched is not None and result.sched.mode == "decentral":
+        sched = result.sched
+        sched_rows = [
+            ["arbitration rounds", sched.rounds],
+            ["rules published", sched.rules_published],
+            ["bids scored / grants", f"{sched.bids} / {sched.grants}"],
+            ["control messages", sched.messages],
+            ["control bytes", sched.control_bytes],
+            ["control time", units.fmt_duration(sched.control_seconds)],
+            ["messages / subjob", f"{sched.messages_per_subjob():.2f}"],
+        ]
+        print(format_table(["scheduler metric", "value"], sched_rows))
     if args.dump_records:
         from .sim.export import write_records_csv
 
@@ -564,14 +626,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import TraceRecorder, render_timeline, write_chrome_trace
     from .sim.config import quick_config
 
-    policy = args.policy.replace("_", "-")
-    if policy not in available_policies():
-        print(
-            f"repro trace: unknown policy {args.policy!r}; available: "
-            + ", ".join(available_policies()),
-            file=sys.stderr,
-        )
-        return 2
+    policy = _resolve_policy(args.policy, "repro trace")
     if args.limit_events < 1:
         print(
             f"repro trace: --limit-events must be >= 1, got {args.limit_events}",
@@ -658,6 +713,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_replicate(args: argparse.Namespace) -> int:
     from .sim.replications import run_replications
 
+    policy = _resolve_policy(args.policy, "repro replicate")
     config = paper_config(
         arrival_rate_per_hour=args.load,
         duration=args.days * units.DAY,
@@ -670,7 +726,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         params["stripe_events"] = args.stripe
     replicated = run_replications(
         config,
-        args.policy,
+        policy,
         n_replications=args.replications,
         processes=args.jobs,
         **params,

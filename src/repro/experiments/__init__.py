@@ -13,6 +13,7 @@ from . import ablations  # noqa: F401  (registers ablate-*)
 from . import extensions  # noqa: F401  (registers fairness, ablate-network, scenario-diurnal)
 from . import complexity_exp  # noqa: F401  (registers complexity)
 from . import faults_exp  # noqa: F401  (registers faults)
+from . import crossover_exp  # noqa: F401  (registers crossover)
 from .calibration import (
     DEFAULT_CANDIDATE_DELAYS,
     calibrate_delay_table,

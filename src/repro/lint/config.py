@@ -18,7 +18,10 @@ from .findings import RULES
 #: else must import :func:`repro.core.clock.wall_clock`.
 DEFAULT_CLOCK_MODULES: Tuple[str, ...] = ("*/core/clock.py",)
 
-#: The one module allowed to construct numpy generators (SIM002).
+#: The one module allowed to construct numpy generators (SIM002).  The
+#: decentralized scheduler's arbiter deliberately gets no entry here: its
+#: tie-breaking draws come from the named ``sched.arbiter`` stream
+#: handed out by :class:`repro.core.rng.RandomStreams`.
 DEFAULT_RNG_MODULES: Tuple[str, ...] = ("*/core/rng.py",)
 
 #: Modules whose job *is* emitting/consuming trace events (SIM004).

@@ -75,6 +75,11 @@ class kinds:
     SCHED_PERIOD = "sched.period"
     SCHED_META = "sched.meta"  # meta-subjob coalesced over a stripe
 
+    # -- decentralized scheduling (repro.sched.decentral) ----------------------
+    RULE_PUBLISH = "sched.rule_publish"  # arbiter posted a job's rule
+    BID_ROUND = "sched.bid_round"  # one arbitration round resolved
+    TASK_GRANT = "sched.grant"  # batched grant applied on a node
+
     # -- run framing -----------------------------------------------------------
     SIM_START = "sim.start"
     SIM_END = "sim.end"

@@ -293,6 +293,74 @@ def bench_cache_lru(n_ops: int = 30_000, repeats: int = KERNEL_REPEATS) -> Bench
     )
 
 
+def bench_sched_bidding(
+    n_rounds: int = 200, repeats: int = KERNEL_REPEATS
+) -> BenchRecord:
+    """Decentralized-scheduler kernel: rule expansion into tasks, bid
+    scoring of every (node, task) pair against per-node caches, and one
+    arbitration round — the per-round work of ``repro.sched.decentral``.
+
+    >>> bench_sched_bidding(n_rounds=2, repeats=1).unit
+    'bids'
+    """
+    from ..core.rng import RandomStreams
+    from ..sched.decentral import Bid, arbitrate, plan_tasks, score_candidate
+
+    n_nodes = 16
+    n_tasks_per_round = 32
+    cost_model = quick_config().cost_model()
+
+    def setup() -> Callable[[], None]:
+        rng = _Lcg(seed=7)
+        caches: List[LRUSegmentCache] = []
+        for _ in range(n_nodes):
+            cache = LRUSegmentCache(capacity_events=50_000)
+            clock = 0.0
+            for _ in range(40):
+                clock += 1.0
+                start = rng.below(1_000_000)
+                cache.insert(Interval(start, start + 1 + rng.below(4_000)), now=clock)
+            caches.append(cache)
+        segments = []
+        for _ in range(n_rounds):
+            start = rng.below(1_000_000)
+            segments.append(Interval(start, start + n_tasks_per_round * 200))
+        arbiter_rng = RandomStreams(0).get("sched.arbiter")
+
+        def run() -> None:
+            for segment in segments:
+                tasks = plan_tasks(segment, 200, 10)
+                bids = [
+                    Bid(
+                        node_id=node_id,
+                        task_index=index,
+                        score=score_candidate(
+                            caches[node_id],
+                            cost_model,
+                            task,
+                            age_seconds=3600.0,
+                            locality_weight=1.0,
+                            aging_tau=21600.0,
+                            queue_depth=node_id % 4,
+                        ),
+                    )
+                    for node_id in range(n_nodes)
+                    for index, task in enumerate(tasks)
+                ]
+                arbitrate(bids, grant_batch=4, rng=arbiter_rng)
+
+        return run
+
+    wall = _best_of(setup, repeats)
+    return BenchRecord(
+        name="sched.bidding",
+        wall_seconds=wall,
+        work=n_rounds * n_nodes * n_tasks_per_round,
+        unit="bids",
+        repeats=repeats,
+    )
+
+
 # -- policy macro-benchmarks ---------------------------------------------------
 
 
@@ -388,6 +456,7 @@ def run_kernel_bench(
         lambda: bench_intervalset_ops(50_000 // scale, repeats),
         lambda: bench_cache_lru(30_000 // scale, repeats),
         lambda: bench_exec_fingerprint(2_000 // scale, repeats),
+        lambda: bench_sched_bidding(200 // scale, repeats),
     )
     records = tuple(_maybe_profile(build, profile) for build in builders)
     return BenchReport(kind="kernel", records=records)

@@ -14,6 +14,8 @@ name                      paper section
 ``delayed``               §5 / Table 4 delayed scheduling
 ``adaptive``              §6 adaptive delay scheduling
 ``mixed``                 §7 future work: delayed + immediate dispatch
+``decentral``             beyond the paper: rule/bid/grant scheduling
+``decentral-nolocal``     cache-blind decentral ablation
 ========================  =============================================
 """
 
@@ -23,9 +25,14 @@ from .base import (
     available_policies,
     best_subjob_for_node,
     create_policy,
+    get_policy_class,
+    policy_parameters,
     register_policy,
     split_interval_by_caches,
+    suggest_policies,
+    unknown_policy_message,
 )
+from .stats import SchedulerStats
 from .adaptive import DEFAULT_DELAY_TABLE, AdaptiveDelayPolicy
 from .cache_splitting import CacheOrientedSplittingPolicy
 from .delayed import DelayedPolicy, compute_stripe_points
@@ -34,12 +41,18 @@ from .mixed import MixedDelayPolicy
 from .out_of_order import OutOfOrderPolicy
 from .replication import ReplicationPolicy
 from .splitting import JobSplittingPolicy
+from .decentral import DecentralNoLocalPolicy, DecentralPolicy
 
 __all__ = [
     "SchedulerPolicy",
     "SchedulerContext",
+    "SchedulerStats",
     "register_policy",
     "create_policy",
+    "get_policy_class",
+    "policy_parameters",
+    "suggest_policies",
+    "unknown_policy_message",
     "available_policies",
     "split_interval_by_caches",
     "best_subjob_for_node",
@@ -52,5 +65,7 @@ __all__ = [
     "DelayedPolicy",
     "AdaptiveDelayPolicy",
     "MixedDelayPolicy",
+    "DecentralPolicy",
+    "DecentralNoLocalPolicy",
     "DEFAULT_DELAY_TABLE",
 ]

@@ -18,6 +18,8 @@ will resume, and the policy documents its job-start ordering.
 
 from __future__ import annotations
 
+import difflib
+import inspect
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Type
 
@@ -26,6 +28,7 @@ from ..cluster.cluster import Cluster
 from ..cluster.node import Node
 from ..core.engine import Engine
 from ..core.errors import ConfigurationError, SchedulingError
+from ..core.rng import RandomStreams
 from ..data.intervals import Interval
 from ..data.tertiary import TertiaryStorage
 from ..obs.hooks import NULL_BUS, HookBus, kinds
@@ -35,10 +38,17 @@ if TYPE_CHECKING:  # pragma: no cover
     # Imported lazily to avoid a package cycle: sim.simulator imports this
     # module, and sim.config is only needed here for type hints.
     from ..sim.config import SimulationConfig
+    from .stats import SchedulerStats
 
 
 class SchedulerContext:
-    """Everything a policy may touch, bundled at bind time."""
+    """Everything a policy may touch, bundled at bind time.
+
+    ``streams`` is the simulation's :class:`~repro.core.rng.RandomStreams`
+    factory; policies that need randomness must draw from a dedicated
+    ``sched.*`` named stream (mirroring the ``faults.*`` discipline) so
+    adding a stochastic policy never perturbs workload or fault draws.
+    """
 
     def __init__(
         self,
@@ -47,12 +57,14 @@ class SchedulerContext:
         config: "SimulationConfig",
         tertiary: TertiaryStorage,
         obs: HookBus = NULL_BUS,
+        streams: Optional[RandomStreams] = None,
     ) -> None:
         self.engine = engine
         self.cluster = cluster
         self.config = config
         self.tertiary = tertiary
         self.obs = obs
+        self.streams = streams
 
     @property
     def now(self) -> float:
@@ -150,6 +162,17 @@ class SchedulerPolicy(ABC):
         replications, ...)."""
         return {}
 
+    def scheduler_stats(self) -> Optional["SchedulerStats"]:
+        """Real control-plane accounting, for policies that measure it.
+
+        ``None`` (the default) means the policy is a classic central
+        push scheduler; the simulator then synthesizes a
+        :meth:`~repro.sched.stats.SchedulerStats.central_estimate` from
+        node dispatch counters so every result carries comparable
+        scheduler-traffic numbers.
+        """
+        return None
+
     # -- shared helpers ---------------------------------------------------------------
 
     @property
@@ -236,29 +259,80 @@ _REGISTRY: Dict[str, Type[SchedulerPolicy]] = {}
 
 
 def register_policy(cls: Type[SchedulerPolicy]) -> Type[SchedulerPolicy]:
-    """Class decorator adding a policy to the registry by its ``name``."""
+    """Class decorator adding a policy to the registry by its ``name``.
+
+    Re-registering a taken name is always an error — even for the same
+    class — so a double import or a copy-pasted plugin fails loudly
+    instead of silently shadowing an existing policy.
+    """
     if not cls.name:
         raise ConfigurationError(f"policy class {cls.__name__} has no name")
     if cls.name in _REGISTRY:
-        raise ConfigurationError(f"duplicate policy name {cls.name!r}")
+        taken_by = _REGISTRY[cls.name].__name__
+        raise ConfigurationError(
+            f"duplicate policy name {cls.name!r}: already registered by "
+            f"{taken_by}; pick a unique SchedulerPolicy.name for "
+            f"{cls.__name__}"
+        )
     _REGISTRY[cls.name] = cls
     return cls
 
 
 def available_policies() -> List[str]:
-    """Registered policy names, sorted."""
+    """Registered policy names, stably sorted (lexicographic)."""
     return sorted(_REGISTRY)
+
+
+def get_policy_class(name: str) -> Type[SchedulerPolicy]:
+    """The registered class for ``name`` (with did-you-mean on misses)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(unknown_policy_message(name)) from None
+
+
+def suggest_policies(name: str, limit: int = 3) -> List[str]:
+    """Closest registered policy names to a misspelled ``name``."""
+    return difflib.get_close_matches(
+        name, available_policies(), n=limit, cutoff=0.4
+    )
+
+
+def unknown_policy_message(name: str) -> str:
+    """The shared unknown-policy error text (CLI and library paths)."""
+    message = (
+        f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+    )
+    suggestions = suggest_policies(name)
+    if suggestions:
+        message += f" (did you mean: {', '.join(suggestions)}?)"
+    return message
+
+
+def policy_parameters(name: str) -> Dict[str, object]:
+    """The tunable constructor parameters of a policy and their defaults.
+
+    Parameters without a default map to the string ``"required"``.
+    """
+    signature = inspect.signature(get_policy_class(name).__init__)
+    params: Dict[str, object] = {}
+    for parameter in list(signature.parameters.values())[1:]:  # skip self
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        params[parameter.name] = (
+            "required"
+            if parameter.default is inspect.Parameter.empty
+            else parameter.default
+        )
+    return params
 
 
 def create_policy(name: str, **params: object) -> SchedulerPolicy:
     """Instantiate a registered policy by name."""
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
-        ) from None
-    return cls(**params)
+    return get_policy_class(name)(**params)
 
 
 # ---------------------------------------------------------------------------

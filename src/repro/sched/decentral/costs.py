@@ -1,0 +1,70 @@
+"""Control-plane cost model: rules, bids and grants are not free.
+
+Every message of the bidding protocol is charged payload bytes and
+simulated transfer time, so the scheduler's own overhead shows up in the
+measured results (``SchedulerStats``) and in the grant latency.  Sizes
+are small-integer protocol estimates: a rule is one posted spec (nodes
+read it from the arbiter's bulletin board — one publication, not one
+copy per node), a bid is a header plus one entry per scored task, a
+grant is a header plus one task id per granted task.  Completion reports
+piggyback on the node's next bid and cost nothing extra — one of the two
+asymmetries (with grant batching) that let the decentralized scheduler
+undercut the central push model's two messages per subjob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ControlCostModel:
+    """Byte/latency charges for the rule → bid → grant protocol."""
+
+    #: One published rule spec (job id, segment, chunking, priority).
+    rule_bytes: int = 96
+    #: Fixed bid-message overhead (node id, piggybacked completions).
+    bid_header_bytes: int = 32
+    #: One scored task entry inside a bid (task id + fixed-point score).
+    bid_entry_bytes: int = 12
+    #: Fixed grant-message overhead.
+    grant_header_bytes: int = 32
+    #: One granted task id.
+    grant_entry_bytes: int = 8
+    #: Control-network throughput in bytes/second (shared LAN order).
+    throughput: float = 12_500_000.0
+    #: Per-message fixed latency (request/response round trip).
+    message_latency: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0:
+            raise ConfigurationError(
+                f"control throughput must be > 0, got {self.throughput}"
+            )
+        if self.message_latency < 0:
+            raise ConfigurationError(
+                f"message latency must be >= 0, got {self.message_latency}"
+            )
+
+    def bid_bytes(self, entries: int) -> int:
+        return self.bid_header_bytes + entries * self.bid_entry_bytes
+
+    def grant_bytes(self, entries: int) -> int:
+        return self.grant_header_bytes + entries * self.grant_entry_bytes
+
+    def transfer_seconds(self, payload_bytes: int, messages: int) -> float:
+        """Simulated time to move ``messages`` totalling ``payload_bytes``."""
+        return payload_bytes / self.throughput + messages * self.message_latency
+
+    def describe(self) -> dict:
+        return {
+            "rule_bytes": self.rule_bytes,
+            "bid_header_bytes": self.bid_header_bytes,
+            "bid_entry_bytes": self.bid_entry_bytes,
+            "grant_header_bytes": self.grant_header_bytes,
+            "grant_entry_bytes": self.grant_entry_bytes,
+            "throughput": self.throughput,
+            "message_latency": self.message_latency,
+        }

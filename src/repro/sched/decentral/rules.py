@@ -1,0 +1,81 @@
+"""Rules: declarative task-generation specs published by the arbiter.
+
+A rule does not name nodes or subjobs — it fixes, once, a deterministic
+tiling of a job's segment into integer-indexed *tasks*.  Every node
+expands the same rule to the same task boundaries, so a bid can refer to
+a task by index alone (the PYME trick: the server arbitrates integers,
+not work descriptions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ...core.errors import SchedulingError
+from ...data.intervals import Interval
+from ...workload.jobs import Job, Subjob
+
+
+def plan_tasks(segment: Interval, task_events: int, min_events: int) -> List[Interval]:
+    """The fixed task tiling of ``segment``: ``task_events``-sized pieces
+    in segment order, with a tail shorter than ``min_events`` merged into
+    its left neighbour (the paper's minimal-subjob-size rule).
+
+    Deterministic in its arguments — every node derives identical
+    boundaries from the published rule.
+
+    >>> plan_tasks(Interval(0, 500), 200, 10)
+    [Interval(0, 200), Interval(200, 400), Interval(400, 500)]
+    >>> plan_tasks(Interval(0, 405), 200, 10)
+    [Interval(0, 200), Interval(200, 405)]
+    """
+    if segment.empty:
+        raise SchedulingError(f"cannot plan tasks over empty segment {segment}")
+    size = max(int(task_events), int(min_events), 1)
+    pieces = [
+        Interval(start, min(start + size, segment.end))
+        for start in range(segment.start, segment.end, size)
+    ]
+    if len(pieces) > 1 and pieces[-1].length < min_events:
+        tail = pieces.pop()
+        pieces[-1] = Interval(pieces[-1].start, tail.end)
+    return pieces
+
+
+@dataclass
+class Rule:
+    """One published rule: a job plus its not-yet-granted tasks.
+
+    ``pending`` holds the tasks no grant has claimed, in segment order;
+    the arbiter removes tasks when granting and re-inserts them (sorted)
+    when a grant bounces off a failed node.
+    """
+
+    job: Job
+    pending: List[Subjob] = field(default_factory=list)
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+    @property
+    def arrival_time(self) -> float:
+        """Aging key: older rules enter the bid window first."""
+        return self.job.arrival_time
+
+    def take(self, task: Subjob) -> None:
+        """Remove a granted task from the pending set."""
+        self.pending.remove(task)
+
+    def put_back(self, tasks: List[Subjob]) -> None:
+        """Return bounced tasks, restoring deterministic segment order."""
+        self.pending.extend(tasks)
+        self.pending.sort(key=lambda subjob: subjob.segment.start)
+
+
+def expand_rule(job: Job, task_events: int, min_events: int) -> Rule:
+    """Materialise a job's rule: tile the segment once (``make_subjobs``
+    must see the full partition) and mark every task pending."""
+    subjobs = job.make_subjobs(plan_tasks(job.segment, task_events, min_events))
+    return Rule(job=job, pending=list(subjobs))

@@ -24,7 +24,8 @@ PathLike = Union[str, Path]
 #: change meaning.  Version 2 added ``schema_version`` itself plus the
 #: guarantee that ``policy_stats`` and ``events_by_source`` are present.
 #: Version 3 added the ``faults`` object (``None`` on fault-free runs).
-SCHEMA_VERSION = 3
+#: Version 4 added the ``sched`` control-plane accounting object.
+SCHEMA_VERSION = 4
 
 #: Keys every version-2 summary must carry.
 _REQUIRED_SUMMARY_KEYS = (
@@ -127,6 +128,7 @@ def result_summary_dict(result: SimulationResult) -> dict:
         "engine_events": result.engine_events,
         "wall_seconds": result.wall_seconds,
         "faults": result.faults.as_dict() if result.faults is not None else None,
+        "sched": result.sched.as_dict() if result.sched is not None else None,
     }
 
 
@@ -158,6 +160,7 @@ def load_result_json(path: PathLike) -> dict:
     summary.setdefault("policy_stats", {})
     summary.setdefault("events_by_source", {})
     summary.setdefault("faults", None)  # pre-v3 files: no fault injection
+    summary.setdefault("sched", None)  # pre-v4 files: no control accounting
     missing = [key for key in _REQUIRED_SUMMARY_KEYS if key not in summary]
     if missing:
         raise ValueError(f"{path}: summary is missing keys {missing}")

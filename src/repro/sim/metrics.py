@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..sched.stats import SchedulerStats  # noqa: F401  (sim-layer re-export)
 from ..workload.jobs import Job
 
 

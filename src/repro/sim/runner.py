@@ -16,8 +16,9 @@ the :class:`~repro.exec.SpecError` that felled it).
   paper's figure format, with overloaded points cut off by default;
 * :meth:`SweepResult.max_sustained_load` — highest steady load per label;
 * :meth:`SweepResult.by_label` / :meth:`SweepResult.to_json` — grouping
-  and machine-readable export (summary-JSON v3 conventions:
-  ``schema_version``, per-point ``seed`` and fault summary).
+  and machine-readable export (summary-JSON v4 conventions:
+  ``schema_version``, per-point ``seed``, fault summary and control-plane
+  ``sched`` accounting).
 """
 
 from __future__ import annotations
@@ -45,8 +46,9 @@ if TYPE_CHECKING:  # pragma: no cover - the executor imports us back lazily
     from ..exec.executor import Executor
 
 #: Sweep-export schema version; tracks the summary-JSON conventions
-#: (v3 added ``schema_version``, ``seed`` and the ``faults`` object).
-SWEEP_SCHEMA_VERSION = 3
+#: (v3 added ``schema_version``, ``seed`` and the ``faults`` object;
+#: v4 added the ``sched`` control-plane accounting object).
+SWEEP_SCHEMA_VERSION = 4
 
 #: One slot of a sweep: the result, or the structured failure.
 SpecOutcome = Union[SimulationResult, SpecError]
@@ -179,6 +181,11 @@ class SweepResult:
                         "faults": (
                             outcome.faults.as_dict()
                             if outcome.faults is not None
+                            else None
+                        ),
+                        "sched": (
+                            outcome.sched.as_dict()
+                            if outcome.sched is not None
                             else None
                         ),
                     }

@@ -9,6 +9,7 @@ and returns a pickleable :class:`SimulationResult`.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
@@ -27,6 +28,7 @@ from ..cluster.node import Node
 from ..data.tertiary import TertiaryStorage
 from ..obs.hooks import HookBus, TraceSink, kinds
 from ..sched.base import SchedulerContext, SchedulerPolicy, create_policy
+from ..sched.stats import SchedulerStats
 from ..workload.generator import WorkloadGenerator
 from ..workload.jobs import Job, JobRequest, Subjob
 from .config import SimulationConfig
@@ -57,6 +59,9 @@ class SimulationResult:
     wall_seconds: float
     #: Fault/recovery accounting; ``None`` when fault injection was off.
     faults: Optional[FaultSummary] = None
+    #: Control-plane accounting — measured for decentral policies, a
+    #: message-count estimate synthesized for the central ones.
+    sched: Optional[SchedulerStats] = None
 
     # -- convenience accessors used by the figure harness ------------------------
 
@@ -160,6 +165,7 @@ class Simulation:
                 config=config,
                 tertiary=self.tertiary,
                 obs=self.obs,
+                streams=self.streams,
             )
         )
         #: Fault injection (repro.faults); ``None`` = perfect cluster.
@@ -302,6 +308,21 @@ class Simulation:
         for node in self.cluster:
             for source, count in node.stats.events_by_source.items():
                 events_by_source[source.value] += count
+        # Control-plane accounting: decentral policies measure it; for
+        # central ones we synthesize the classic estimate — one dispatch
+        # message per subjob start, one report per completion.
+        dispatches = sum(
+            node.stats.subjobs_completed
+            + node.stats.preemptions
+            + node.stats.subjobs_aborted
+            for node in self.cluster
+        )
+        completions = sum(node.stats.subjobs_completed for node in self.cluster)
+        sched_stats = self.policy.scheduler_stats()
+        if sched_stats is None:
+            sched_stats = SchedulerStats.central_estimate(dispatches, completions)
+        else:
+            sched_stats = dataclasses.replace(sched_stats, subjobs_started=dispatches)
         fault_summary: Optional[FaultSummary] = None
         if self.injector is not None:
             self.injector.finalize()
@@ -328,6 +349,7 @@ class Simulation:
             engine_events=self.engine.stats.dispatched,
             wall_seconds=wall_seconds,
             faults=fault_summary,
+            sched=sched_stats,
         )
 
 

@@ -11,6 +11,18 @@ class TestListingCommands:
         out = capsys.readouterr().out
         assert "out-of-order" in out
         assert "delayed" in out
+        assert "decentral" in out
+        assert "grant_batch=4" in out  # tunable parameters are listed
+
+    def test_unknown_policy_suggests(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--policy", "decentrall", "--days", "1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "decentral" in err
+
+    def test_underscore_policy_names_accepted(self, capsys):
+        assert main(["simulate", "--policy", "out_of_order", "--days", "1"]) == 0
 
     def test_experiments(self, capsys):
         assert main(["experiments"]) == 0
@@ -186,13 +198,13 @@ class TestSweep:
         )
         return code, out
 
-    def test_sweep_writes_v3_json(self, capsys, tmp_path):
+    def test_sweep_writes_v4_json(self, capsys, tmp_path):
         import json
 
         code, out = self._sweep(tmp_path, "sweep.json")
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert all("seed" in point for point in payload["results"])
         assert "exec: total=" in capsys.readouterr().out
 

@@ -410,3 +410,23 @@ class TestDeterministicReplay:
         ooo = run_simulation(_faulted_quick_config(), "out-of-order")
         assert farm.faults.failures == ooo.faults.failures
         assert farm.faults.downtime_seconds == ooo.faults.downtime_seconds
+
+    @pytest.mark.parametrize("policy", ["decentral", "decentral-nolocal"])
+    def test_decentral_replay_and_sanitizer_identical(self, policy):
+        # The decentral family consumes the extra ``sched.arbiter``
+        # stream; faulted replays must stay bit-identical and unperturbed
+        # by the sanitizer, like every central policy.
+        first = run_simulation(_faulted_quick_config(), policy)
+        second = run_simulation(
+            _faulted_quick_config(), policy, check_invariants=True
+        )
+        assert first.faults is not None and first.faults.failures > 0
+        assert _comparable(first) == _comparable(second)
+        assert first.sched is not None and first.sched.mode == "decentral"
+
+    def test_decentral_failure_schedule_matches_central(self):
+        # sched.arbiter draws must not perturb the fault streams.
+        farm = run_simulation(_faulted_quick_config(), "farm")
+        decentral = run_simulation(_faulted_quick_config(), "decentral")
+        assert farm.faults.failures == decentral.faults.failures
+        assert farm.faults.downtime_seconds == decentral.faults.downtime_seconds

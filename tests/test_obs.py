@@ -334,8 +334,9 @@ class TestTraceCli:
         assert "event cap reached" in out
 
     def test_trace_unknown_policy_clean_error(self, capsys):
-        code = main(["trace", "--policy", "bogus"])
-        assert code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--policy", "bogus"])
+        assert excinfo.value.code == 2
         err = capsys.readouterr().err
         assert "unknown policy" in err
         assert "out-of-order" in err  # lists the alternatives

@@ -204,6 +204,7 @@ class TestHarness:
             "intervals.set_ops",
             "cache.lru_ops",
             "exec.fingerprint",
+            "sched.bidding",
         ]
         for record in report.records:
             assert record.wall_seconds > 0

@@ -39,6 +39,8 @@ POLICIES = [
     ("delayed", {"period": 2 * units.HOUR, "stripe_events": 300}),
     ("adaptive", {"stripe_events": 300}),
     ("mixed", {"period": 2 * units.HOUR, "stripe_events": 300}),
+    ("decentral", {"task_events": 400}),
+    ("decentral-nolocal", {"task_events": 400, "grant_batch": 2}),
 ]
 
 FUZZ_SETTINGS = settings(

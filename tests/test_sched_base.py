@@ -10,8 +10,12 @@ from repro.sched.base import (
     available_policies,
     best_subjob_for_node,
     create_policy,
+    get_policy_class,
+    policy_parameters,
     register_policy,
     split_interval_by_caches,
+    suggest_policies,
+    unknown_policy_message,
 )
 
 from .conftest import make_cluster
@@ -67,6 +71,56 @@ class TestRegistry:
 
                 def on_job_end(self, node, job, subjob):
                     pass
+
+    def test_decentral_policies_registered(self):
+        names = available_policies()
+        assert "decentral" in names
+        assert "decentral-nolocal" in names
+
+    def test_available_policies_stably_sorted(self):
+        names = available_policies()
+        assert names == sorted(names)
+        assert names == available_policies()
+
+    def test_duplicate_error_names_both_classes(self):
+        with pytest.raises(ConfigurationError, match="ProcessingFarmPolicy"):
+
+            @register_policy
+            class FarmAgain(SchedulerPolicy):  # pragma: no cover
+                name = "farm"
+
+                def on_job_arrival(self, job):
+                    pass
+
+                def on_subjob_end(self, node, subjob):
+                    pass
+
+                def on_job_end(self, node, job, subjob):
+                    pass
+
+        assert "farm" not in available_policies() or get_policy_class(
+            "farm"
+        ).__name__ == "ProcessingFarmPolicy"
+
+    def test_reregistering_same_class_rejected(self):
+        cls = get_policy_class("farm")
+        with pytest.raises(ConfigurationError, match="duplicate policy name"):
+            register_policy(cls)
+        assert get_policy_class("farm") is cls
+
+    def test_unknown_policy_suggests_close_names(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            create_policy("decentrall")
+        assert "decentral" in suggest_policies("decentrall")
+        assert "did you mean" in unknown_policy_message("farmm")
+
+    def test_policy_parameters_reports_defaults(self):
+        params = policy_parameters("decentral")
+        assert params["grant_batch"] == 4
+        assert params["task_events"] is None
+        assert policy_parameters("farm") == {}
+        with pytest.raises(ConfigurationError):
+            policy_parameters("no-such-policy")
 
     def test_create_passes_params(self):
         policy = create_policy("delayed", period=123.0, stripe_events=77)

@@ -158,11 +158,12 @@ class TestRunner:
         specs = load_sweep(quick_config(duration=units.DAY), "farm", [1.0])
         sweep = run_sweep(specs)
         payload = json.loads(sweep.to_json())
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         point = payload["results"][0]
         assert point["policy"] == "farm"
         assert point["seed"] == specs[0].config.seed
         assert "faults" in point  # None without injection, summary with
+        assert point["sched"]["mode"] == "central"
 
     def test_max_sustained_load(self):
         specs = load_sweep(

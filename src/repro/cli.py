@@ -370,6 +370,25 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--rules", action="store_true", help="print the rule catalogue and exit"
     )
+    lint_parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="run the whole-program flow analysis (SIM101-SIM105) instead "
+        "of the per-file rules",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="flow-findings baseline JSON (default: .simlint-flow.json "
+        "when it exists); new findings gate, grandfathered ones report",
+    )
+    lint_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --flow: rewrite the baseline file from the current "
+        "findings (justifications left as TODO) and exit 0",
+    )
 
     bench_parser = sub.add_parser(
         "bench",
@@ -764,7 +783,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import (
-        RULES,
+        ALL_RULES,
         LintUsageError,
         lint_paths,
         make_config,
@@ -773,13 +792,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
     if args.rules:
-        rows = [[code, description] for code, description in sorted(RULES.items())]
+        rows = [
+            [code, description] for code, description in sorted(ALL_RULES.items())
+        ]
         print(format_table(["code", "rule"], rows, title="simlint rule catalogue"))
         return 0
     try:
         config = make_config(
             args.select.split(",") if args.select else None
         )
+        if args.flow:
+            return _lint_flow(args, config)
+        if args.update_baseline:
+            print(
+                "repro lint: --update-baseline requires --flow",
+                file=sys.stderr,
+            )
+            return 2
         findings, files_checked = lint_paths(args.paths, config)
     except LintUsageError as error:
         print(f"repro lint: {error}", file=sys.stderr)
@@ -789,6 +818,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(findings, files_checked))
     return 1 if findings else 0
+
+
+def _lint_flow(args: argparse.Namespace, config) -> int:
+    from pathlib import Path
+
+    from .lint import render_flow_json, render_flow_text
+    from .lint.flow import (
+        DEFAULT_BASELINE_NAME,
+        BaselineError,
+        default_flow_config,
+        flow_lint_paths,
+        write_baseline,
+    )
+
+    if not args.select:
+        config = default_flow_config()
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        default = Path(DEFAULT_BASELINE_NAME)
+        baseline_path = default if default.exists() else None
+    if args.update_baseline:
+        report = flow_lint_paths(args.paths, config, baseline_path=None)
+        target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+        write_baseline(target, report.all_findings)
+        print(
+            f"repro lint: wrote {len(report.all_findings)} entr"
+            f"{'y' if len(report.all_findings) == 1 else 'ies'} to {target}"
+        )
+        return 0
+    try:
+        report = flow_lint_paths(args.paths, config, baseline_path=baseline_path)
+    except BaselineError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_flow_json(report))
+    else:
+        print(render_flow_text(report))
+    return 0 if report.is_clean() else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:

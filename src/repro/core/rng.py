@@ -10,7 +10,7 @@ the draws seen by existing consumers, because each stream is derived from
 from __future__ import annotations
 
 import zlib
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -48,6 +48,23 @@ class RandomStreams:
     def spawn(self, name: str) -> "RandomStreams":
         """Derive a child factory, e.g. one per simulation replication."""
         return RandomStreams(self._derive_key(name))
+
+    # -- registry introspection --------------------------------------------
+
+    def names(self) -> Tuple[str, ...]:
+        """Names of every stream handed out so far, sorted.
+
+        The static flow lint (SIM101) proves stream *ownership* ahead of
+        time; this is the runtime counterpart — tests and debug dumps can
+        assert exactly which streams a scenario touched.
+        """
+        return tuple(sorted(self._streams))
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._streams
 
     # -- internals ---------------------------------------------------------
 

@@ -6,8 +6,14 @@ randomness (SIM002), no exact float comparison of simulation times
 (SIM003), guarded hook emissions (SIM004), immutable shared configs
 (SIM005) and no I/O from simulation code (SIM006).
 
-Run it as ``repro lint src/repro`` (exit code 1 on findings) or use the
-API::
+On top of the per-file pass, :mod:`repro.lint.flow` builds a
+project-wide graph and checks *cross-module* determinism contracts
+(SIM101–SIM105): RNG stream ownership, event-ordering discipline,
+summary-JSON schema agreement, stale suppressions and the obs hook
+taxonomy.
+
+Run it as ``repro lint src/repro`` (exit code 1 on findings), add
+``--flow`` for the whole-program pass, or use the API::
 
     from repro.lint import lint_paths, render_text
 
@@ -22,22 +28,41 @@ from .checker import (
     lint_paths,
     lint_source,
     make_config,
+    parse_suppression_directives,
     render_json,
     render_text,
+    syntax_error_finding,
 )
 from .config import LintConfig
-from .findings import RULES, Finding
+from .findings import ALL_RULES, FLOW_RULES, RULES, Finding, suggest_rule_codes
+from .flow import (
+    FlowReport,
+    default_flow_config,
+    flow_lint_paths,
+    render_flow_json,
+    render_flow_text,
+)
 
 __all__ = [
     "Finding",
     "RULES",
+    "FLOW_RULES",
+    "ALL_RULES",
     "LintConfig",
     "LintUsageError",
     "JSON_SCHEMA_VERSION",
+    "FlowReport",
     "lint_source",
     "lint_paths",
     "iter_python_files",
     "make_config",
+    "parse_suppression_directives",
+    "suggest_rule_codes",
+    "syntax_error_finding",
     "render_text",
     "render_json",
+    "default_flow_config",
+    "flow_lint_paths",
+    "render_flow_text",
+    "render_flow_json",
 ]

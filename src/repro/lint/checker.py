@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import ReproError
 from .config import LintConfig
-from .findings import RULES, Finding
+from .findings import ALL_RULES, Finding, suggest_rule_codes
 from .rules import RuleVisitor
 
 #: Bumped when the JSON report shape changes.
@@ -41,14 +41,24 @@ class LintUsageError(ReproError):
     """Bad lint invocation (unknown rule code, missing path, ...)."""
 
 
-def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> set of suppressed codes (or ``{"*"}``)."""
-    suppressions: Dict[int, Set[str]] = {}
+def parse_suppression_directives(
+    source: str,
+) -> List[Tuple[int, int, Tuple[str, ...]]]:
+    """Every suppression comment in ``source``, in file order.
+
+    Returns ``(comment_line, target_line, codes)`` triples; an empty
+    ``codes`` tuple means a bare ``disable`` (every rule).  The target
+    line is the comment's own line, or the next line for
+    ``disable-next-line`` — including one past EOF when the directive is
+    the last line of the file (such a directive can never match and is
+    exactly what SIM104 exists to catch).
+    """
+    directives: List[Tuple[int, int, Tuple[str, ...]]] = []
     reader = io.StringIO(source).readline
     try:
         tokens = list(tokenize.generate_tokens(reader))
     except (tokenize.TokenError, IndentationError):  # pragma: no cover
-        return suppressions
+        return directives
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
@@ -57,14 +67,27 @@ def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
             continue
         codes_text = match.group("codes")
         codes = (
-            {code.strip() for code in codes_text.split(",") if code.strip()}
+            tuple(
+                sorted(
+                    {code.strip() for code in codes_text.split(",") if code.strip()}
+                )
+            )
             if codes_text
-            else {_ALL}
+            else ()
         )
-        line = token.start[0]
+        comment_line = token.start[0]
+        target_line = comment_line
         if match.group("directive") == "disable-next-line":
-            line += 1
-        suppressions.setdefault(line, set()).update(codes)
+            target_line += 1
+        directives.append((comment_line, target_line, codes))
+    return directives
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed codes (or ``{"*"}``)."""
+    suppressions: Dict[int, Set[str]] = {}
+    for _comment_line, target_line, codes in parse_suppression_directives(source):
+        suppressions.setdefault(target_line, set()).update(codes or {_ALL})
     return suppressions
 
 
@@ -108,6 +131,27 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
     return sorted(files)
 
 
+def syntax_error_finding(path: str, error: SyntaxError) -> Finding:
+    """SIM000 finding for an unparseable file.
+
+    ``SyntaxError.offset`` is already 1-based, so it is used as the
+    column directly; the offending source line (when CPython provides
+    it) is embedded in the message so reports are actionable without
+    opening the file.
+    """
+    message = f"syntax error: {error.msg}"
+    offending = (error.text or "").strip()
+    if offending:
+        message += f" [{offending}]"
+    return Finding(
+        code="SIM000",
+        path=path,
+        line=error.lineno or 1,
+        col=error.offset or 1,
+        message=message,
+    )
+
+
 def lint_paths(
     paths: Sequence[str], config: Optional[LintConfig] = None
 ) -> Tuple[List[Finding], int]:
@@ -124,28 +168,32 @@ def lint_paths(
         try:
             findings.extend(lint_source(source, str(file_path), config))
         except SyntaxError as error:
-            findings.append(
-                Finding(
-                    code="SIM000",
-                    path=file_path.as_posix(),
-                    line=error.lineno or 1,
-                    col=(error.offset or 0) + 1,
-                    message=f"syntax error: {error.msg}",
-                )
-            )
+            findings.append(syntax_error_finding(file_path.as_posix(), error))
     return sorted(findings, key=Finding.sort_key), len(files)
 
 
 def make_config(select: Optional[Sequence[str]] = None) -> LintConfig:
-    """Build a config from ``--select`` style code lists (validated)."""
+    """Build a config from ``--select`` style code lists.
+
+    Unknown codes are rejected with a did-you-mean suggestion (codes
+    validate against the full catalogue, per-file *and* flow, so
+    ``--select SIM101 --flow`` works symmetrically).
+    """
     if not select:
         return LintConfig()
     codes = {code.strip().upper() for code in select if code.strip()}
-    unknown = codes - set(RULES)
+    unknown = codes - set(ALL_RULES)
     if unknown:
+        parts = []
+        for code in sorted(unknown):
+            suggestions = suggest_rule_codes(code)
+            hint = (
+                f" (did you mean {', '.join(suggestions)}?)" if suggestions else ""
+            )
+            parts.append(f"{code}{hint}")
         raise LintUsageError(
-            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
-            f"available: {', '.join(sorted(RULES))}"
+            f"unknown rule code(s): {'; '.join(parts)}; "
+            f"available: {', '.join(sorted(ALL_RULES))}"
         )
     return LintConfig(select=frozenset(codes))
 

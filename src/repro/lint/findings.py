@@ -1,17 +1,21 @@
 """Finding records and the rule catalogue of simlint.
 
-Each rule has a stable code (``SIM001``–``SIM006``) used in reports, in CI
-gating and in targeted suppression comments (``# simlint: disable=SIM003``).
-The catalogue doubles as documentation: ``repro lint --rules`` prints it.
+Each rule has a stable code used in reports, in CI gating and in targeted
+suppression comments (``# simlint: disable=SIM003``).  ``SIM001``–``SIM006``
+are per-file AST rules; ``SIM101``–``SIM105`` are whole-program flow rules
+(``repro lint --flow``, package :mod:`repro.lint.flow`) that need the
+project-wide import/call/constant graph.  The catalogue doubles as
+documentation: ``repro lint --rules`` prints it.
 """
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, List
 
-#: Rule catalogue: code -> one-line description (kept in sync with
-#: docs/ARCHITECTURE.md's "Static analysis" section).
+#: Per-file rule catalogue: code -> one-line description (kept in sync
+#: with docs/ARCHITECTURE.md's "Static analysis" section).
 RULES: Dict[str, str] = {
     "SIM001": (
         "wall-clock read (time.time/monotonic/perf_counter, argless "
@@ -38,6 +42,46 @@ RULES: Dict[str, str] = {
         "outside export/CLI/obs modules"
     ),
 }
+
+#: Whole-program flow-rule catalogue (``repro lint --flow``).  These
+#: rules check cross-module contracts no per-file pass can see.
+FLOW_RULES: Dict[str, str] = {
+    "SIM101": (
+        "RNG stream aliasing: the same RandomStreams stream name is "
+        "registered by different components, or a stream name is computed "
+        "dynamically with no literal prefix"
+    ),
+    "SIM102": (
+        "event-ordering hazard: engine internals touched outside the "
+        "kernel, assignment to the simulation clock, or a trace observer "
+        "that schedules events / mutates shared state"
+    ),
+    "SIM103": (
+        "schema drift: summary-JSON keys read but never written, a writer "
+        "that does not stamp schema_version, or a hardcoded "
+        "schema_version=N literal at a call site"
+    ),
+    "SIM104": (
+        "stale suppression: a `# simlint: disable[=...]` comment that "
+        "matches no finding on its target line"
+    ),
+    "SIM105": (
+        "obs hook contract: event kinds defined but never emitted, "
+        "emitted but never consumed by any sink/exporter, or emitted as "
+        "a raw string not in the kinds taxonomy"
+    ),
+}
+
+#: Every rule code (per-file + flow) — the namespace ``--select`` and
+#: suppression comments validate against.
+ALL_RULES: Dict[str, str] = {**RULES, **FLOW_RULES}
+
+
+def suggest_rule_codes(code: str, limit: int = 3) -> List[str]:
+    """Closest known rule codes to a mistyped ``code`` (did-you-mean)."""
+    return difflib.get_close_matches(
+        code.upper(), sorted(ALL_RULES), n=limit, cutoff=0.4
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,165 @@
+"""Committed baseline of grandfathered flow findings.
+
+The flow rules gate CI, but a new rule typically fires on pre-existing
+code that is known-acceptable (e.g. hook kinds consumed only by the test
+suite).  Rather than weakening the rule or sprinkling suppression
+comments, such findings are *grandfathered* in a committed JSON baseline
+(`.simlint-flow.json` at the repository root).  CI then fails only on
+findings **not** covered by the baseline — i.e. on regressions.
+
+Entries match findings structurally, not positionally: a finding is
+covered when its ``code`` equals the entry's, its ``path`` matches the
+entry's glob, and the entry's ``match`` substring occurs in the message.
+Line numbers are deliberately not part of the match — they churn on
+every unrelated edit.  Every entry must carry a non-empty
+``justification`` so the reason it is acceptable survives in review.
+
+``repro lint --flow --update-baseline`` rewrites the file from the
+current findings (with placeholder justifications to fill in), and the
+loader reports entries that no longer match anything so the baseline
+shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..findings import Finding
+
+#: Version stamp of the baseline file format itself.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Default baseline location, relative to the lint root.
+DEFAULT_BASELINE_NAME = ".simlint-flow.json"
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is malformed."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding pattern."""
+
+    code: str
+    path: str
+    match: str
+    justification: str
+
+    def covers(self, finding: Finding) -> bool:
+        return (
+            finding.code == self.code
+            and fnmatch.fnmatch(finding.path, self.path)
+            and self.match in finding.message
+        )
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "match": self.match,
+            "justification": self.justification,
+        }
+
+
+def _entry_from_dict(raw: Any, index: int) -> BaselineEntry:
+    if not isinstance(raw, dict):
+        raise BaselineError(f"baseline entry #{index} is not an object")
+    missing = [k for k in ("code", "path", "match", "justification") if k not in raw]
+    if missing:
+        raise BaselineError(
+            f"baseline entry #{index} is missing {', '.join(missing)}"
+        )
+    entry = BaselineEntry(
+        code=str(raw["code"]),
+        path=str(raw["path"]),
+        match=str(raw["match"]),
+        justification=str(raw["justification"]).strip(),
+    )
+    if not entry.justification:
+        raise BaselineError(
+            f"baseline entry #{index} ({entry.code} {entry.path}) has an "
+            "empty justification; every grandfathered finding must say why"
+        )
+    return entry
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise BaselineError(f"baseline {path}: top level must be an object")
+    version = payload.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {path}: schema_version {version!r} is not "
+            f"{BASELINE_SCHEMA_VERSION}"
+        )
+    raw_entries = payload.get("entries", [])
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"baseline {path}: 'entries' must be a list")
+    return [_entry_from_dict(raw, i) for i, raw in enumerate(raw_entries)]
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings by baseline coverage.
+
+    Returns ``(new, grandfathered, unused_entries)`` where *new* are the
+    findings CI should gate on and *unused_entries* are baseline entries
+    that matched nothing (candidates for deletion).
+    """
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    used: set = set()
+    for finding in findings:
+        covered = False
+        for i, entry in enumerate(entries):
+            if entry.covers(finding):
+                used.add(i)
+                covered = True
+                break
+        (grandfathered if covered else new).append(finding)
+    unused = [entry for i, entry in enumerate(entries) if i not in used]
+    return new, grandfathered, unused
+
+
+def baseline_payload(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """Serializable baseline covering exactly the given findings."""
+    entries: List[Dict[str, str]] = []
+    seen: set = set()
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = (finding.code, finding.path, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "code": finding.code,
+                "path": finding.path,
+                "match": finding.message,
+                "justification": "TODO: justify or fix",
+            }
+        )
+    return {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "tool": "simlint-flow",
+        "entries": entries,
+    }
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    path.write_text(
+        json.dumps(baseline_payload(findings), indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )

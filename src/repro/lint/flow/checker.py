@@ -1,0 +1,182 @@
+"""Driver for the whole-program flow lint (``repro lint --flow``).
+
+Pipeline: walk files -> build the :class:`ProjectGraph` fact base ->
+run the SIM101–SIM105 passes -> drop findings waived by in-source
+suppression comments -> split the rest against the committed baseline.
+Only *new* (non-grandfathered) findings gate CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..checker import iter_python_files
+from ..config import LintConfig
+from ..findings import ALL_RULES, Finding
+from .baseline import BaselineEntry, apply_baseline, load_baseline
+from .graph import ProjectGraph, build_graph
+from .rules import run_flow_rules
+
+#: Bumped when the flow JSON report shape changes.
+FLOW_JSON_SCHEMA_VERSION = 1
+
+
+def default_flow_config() -> LintConfig:
+    """Config with the full catalogue enabled (flow rules included).
+
+    The plain :class:`LintConfig` default selects only the per-file
+    rules, which would silently disable every SIM1xx pass.
+    """
+    return LintConfig(select=frozenset(ALL_RULES))
+
+
+@dataclass
+class FlowReport:
+    """Outcome of one flow-lint run."""
+
+    #: Findings not covered by the baseline — these gate CI.
+    new: List[Finding] = field(default_factory=list)
+    #: Findings matched by a baseline entry (reported, never fatal).
+    grandfathered: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (debt already paid).
+    unused_entries: List[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+    #: Fact-base size counters from :meth:`ProjectGraph.stats`.
+    graph_stats: Dict[str, int] = field(default_factory=dict)
+
+    def is_clean(self) -> bool:
+        return not self.new
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return sorted(self.new + self.grandfathered, key=Finding.sort_key)
+
+
+def _apply_source_suppressions(
+    findings: Sequence[Finding], graph: ProjectGraph
+) -> List[Finding]:
+    by_path: Dict[str, Dict[int, Set[str]]] = {}
+    for path, info in graph.modules.items():
+        lines: Dict[int, Set[str]] = {}
+        for directive in info.suppressions:
+            lines.setdefault(directive.target_line, set()).update(
+                directive.codes or {"*"}
+            )
+        by_path[path] = lines
+    kept: List[Finding] = []
+    for finding in findings:
+        codes = by_path.get(finding.path, {}).get(finding.line)
+        if codes is not None:
+            # A bare directive must not swallow the SIM104 finding that
+            # flags the directive itself; waiving one takes an explicit
+            # ``disable=SIM104``.
+            blanket = "*" in codes and finding.code != "SIM104"
+            if blanket or finding.code in codes:
+                continue
+        kept.append(finding)
+    return kept
+
+
+def flow_lint_source(
+    sources: Dict[str, str], config: Optional[LintConfig] = None
+) -> Tuple[List[Finding], ProjectGraph]:
+    """Flow-lint an in-memory ``{path: source}`` project (test harness
+    entry point; no filesystem access)."""
+    from .graph import collect_module
+
+    config = config or default_flow_config()
+    graph = ProjectGraph()
+    for path in sorted(sources):
+        try:
+            info = collect_module(path, sources[path], config)
+        except SyntaxError as error:
+            from ..checker import syntax_error_finding
+
+            graph.parse_errors.append(
+                syntax_error_finding(Path(path).as_posix(), error)
+            )
+            continue
+        graph.modules[info.path] = info
+    findings = run_flow_rules(graph, config)
+    findings = _apply_source_suppressions(findings, graph)
+    findings.extend(graph.parse_errors)
+    return sorted(findings, key=Finding.sort_key), graph
+
+
+def flow_lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    baseline_path: Optional[Path] = None,
+) -> FlowReport:
+    """Flow-lint every ``.py`` file under ``paths`` against a baseline."""
+    config = config or default_flow_config()
+    files = iter_python_files(paths)
+    graph = build_graph(files, config)
+    findings = run_flow_rules(graph, config)
+    findings = _apply_source_suppressions(findings, graph)
+    findings.extend(graph.parse_errors)
+    findings = sorted(findings, key=Finding.sort_key)
+    entries = load_baseline(baseline_path) if baseline_path else []
+    new, grandfathered, unused = apply_baseline(findings, entries)
+    return FlowReport(
+        new=new,
+        grandfathered=grandfathered,
+        unused_entries=unused,
+        files_checked=len(files),
+        graph_stats=graph.stats(),
+    )
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render_flow_text(report: FlowReport) -> str:
+    """Human-readable flow report, grep-friendly like the per-file one."""
+    lines = [
+        f"{finding.location()}: {finding.code} {finding.message}"
+        for finding in report.new
+    ]
+    for finding in report.grandfathered:
+        lines.append(
+            f"{finding.location()}: {finding.code} [baseline] {finding.message}"
+        )
+    for entry in report.unused_entries:
+        lines.append(
+            f"simlint-flow: baseline entry matches nothing "
+            f"({entry.code} {entry.path} ~ {entry.match!r}); remove it"
+        )
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.new:
+        lines.append(
+            f"simlint-flow: {len(report.new)} new finding(s), "
+            f"{len(report.grandfathered)} grandfathered in "
+            f"{report.files_checked} {noun}"
+        )
+    else:
+        lines.append(
+            f"simlint-flow: clean ({report.files_checked} {noun} checked, "
+            f"{len(report.grandfathered)} grandfathered)"
+        )
+    return "\n".join(lines)
+
+
+def render_flow_json(report: FlowReport) -> str:
+    """Machine-readable flow report for the CI findings artifact."""
+    payload = {
+        "schema_version": FLOW_JSON_SCHEMA_VERSION,
+        "tool": "simlint-flow",
+        "files_checked": report.files_checked,
+        "count": len(report.new),
+        "findings": [finding.as_dict() for finding in report.new],
+        "grandfathered": [
+            finding.as_dict() for finding in report.grandfathered
+        ],
+        "unused_baseline_entries": [
+            entry.as_dict() for entry in report.unused_entries
+        ],
+        "graph": report.graph_stats,
+    }
+    return json.dumps(payload, indent=2)

@@ -102,6 +102,7 @@ def chrome_trace_events(recorder: TraceRecorder) -> List[Dict[str, Any]]:
         kinds.FAULT_GIVEUP: "fault giveup",
         kinds.STALL_START: "tertiary stall start",
         kinds.STALL_END: "tertiary stall end",
+        kinds.TASK_GRANT: "task grant",
     }
     for event in recorder.events:
         label = _INSTANTS.get(event.kind)

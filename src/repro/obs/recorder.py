@@ -136,6 +136,10 @@ class TraceRecorder(TraceSink):
         self.periods = 0
         self.meta_subjobs = 0
         self.engine_dispatches = 0
+        self.rules_published = 0
+        self.bid_rounds = 0
+        self.grants = 0
+        self.sim_start_time: Optional[float] = None
         self._busy: Set[int] = set()
         self.last_time = 0.0
 
@@ -227,6 +231,14 @@ class TraceRecorder(TraceSink):
             self.meta_subjobs += 1
         elif kind == kinds.ENGINE_DISPATCH:
             self.engine_dispatches += 1
+        elif kind == kinds.RULE_PUBLISH:
+            self.rules_published += 1
+        elif kind == kinds.BID_ROUND:
+            self.bid_rounds += 1
+        elif kind == kinds.TASK_GRANT:
+            self.grants += 1
+        elif kind == kinds.SIM_START:
+            self.sim_start_time = event.time
         elif kind == kinds.SIM_END:
             self.close()
 
@@ -313,6 +325,9 @@ class TraceRecorder(TraceSink):
             "remote_events": self.remote_events,
             "periods": self.periods,
             "meta_subjobs": self.meta_subjobs,
+            "rules_published": self.rules_published,
+            "bid_rounds": self.bid_rounds,
+            "grants": self.grants,
             "hit_ratio": self.hit_ratio,
         }
 

@@ -34,6 +34,7 @@ from ..exec.fingerprint import spec_fingerprint
 from ..exec.outcomes import SpecError
 from ..sched import available_policies
 from ..sim.config import SimulationConfig, paper_config, quick_config
+from ..sim.export import SCHEMA_VERSION
 from ..sim.runner import RunSpec
 from .profiling import profile_call
 from .report import BenchRecord, BenchReport, Hotspot
@@ -240,7 +241,7 @@ def bench_exec_fingerprint(
 
         def run() -> None:
             for spec in specs:
-                spec_fingerprint(spec, schema_version=3)
+                spec_fingerprint(spec, schema_version=SCHEMA_VERSION)
 
         return run
 
@@ -325,7 +326,9 @@ def bench_sched_bidding(
         for _ in range(n_rounds):
             start = rng.below(1_000_000)
             segments.append(Interval(start, start + n_tasks_per_round * 200))
-        arbiter_rng = RandomStreams(0).get("sched.arbiter")
+        # A bench-owned stream: reusing the scheduler's "sched.arbiter"
+        # name here would alias its draws (simlint SIM101).
+        arbiter_rng = RandomStreams(0).get("perf.bidding")
 
         def run() -> None:
             for segment in segments:
@@ -357,6 +360,70 @@ def bench_sched_bidding(
         wall_seconds=wall,
         work=n_rounds * n_nodes * n_tasks_per_round,
         unit="bids",
+        repeats=repeats,
+    )
+
+
+def _synthetic_flow_module(index: int) -> str:
+    """One synthetic module exercising every flow-lint fact collector."""
+    return (
+        f'"""module {index}"""\n'
+        "from repro.obs.hooks import kinds\n"
+        "\n"
+        f'_KEYS_{index} = ("alpha", "beta", "gamma")\n'
+        "\n"
+        "\n"
+        f"def writer_{index}(streams, bus, now):\n"
+        f'    rng = streams.get("component{index}.draws")\n'
+        f'    child = streams.spawn(f"component{index}.rep{{now}}")\n'
+        "    if bus.enabled:\n"
+        "        bus.emit(now, kinds.JOB_ARRIVAL, 'node', node=1)\n"
+        "    return {\n"
+        '        "schema_version": 1,\n'
+        '        "alpha": rng.integers(10),\n'
+        '        "beta": now,\n'
+        "    }\n"
+        "\n"
+        "\n"
+        f"def reader_{index}(payload):\n"
+        f"    wanted = _KEYS_{index}\n"
+        '    value = payload["alpha"]\n'
+        '    other = payload.get("beta", 0.0)\n'
+        "    return value, other, wanted\n"
+    )
+
+
+def bench_lint_flow(
+    n_modules: int = 150, repeats: int = KERNEL_REPEATS
+) -> BenchRecord:
+    """Whole-program flow analysis over a synthetic project.
+
+    Guards the graph build + SIM101-SIM105 passes (``repro lint --flow``)
+    against complexity regressions — the analysis must stay cheap enough
+    to run on every CI push.
+
+    >>> bench_lint_flow(n_modules=4, repeats=1).work
+    4
+    """
+    from ..lint.flow import flow_lint_source
+
+    def setup() -> Callable[[], None]:
+        sources = {
+            f"src/repro/fake{i % 7}/module_{i}.py": _synthetic_flow_module(i)
+            for i in range(n_modules)
+        }
+
+        def run() -> None:
+            flow_lint_source(sources)
+
+        return run
+
+    wall = _best_of(setup, repeats)
+    return BenchRecord(
+        name="lint.flow",
+        wall_seconds=wall,
+        work=n_modules,
+        unit="modules",
         repeats=repeats,
     )
 
@@ -457,6 +524,7 @@ def run_kernel_bench(
         lambda: bench_cache_lru(30_000 // scale, repeats),
         lambda: bench_exec_fingerprint(2_000 // scale, repeats),
         lambda: bench_sched_bidding(200 // scale, repeats),
+        lambda: bench_lint_flow(150 // scale, repeats),
     )
     records = tuple(_maybe_profile(build, profile) for build in builders)
     return BenchReport(kind="kernel", records=records)

@@ -19,6 +19,7 @@ from repro.lint import (
     lint_paths,
     lint_source,
     make_config,
+    parse_suppression_directives,
     render_json,
     render_text,
 )
@@ -118,6 +119,36 @@ class TestRuleDetection:
         findings = lint_source(source, "snippet.py")
         assert codes_and_lines(findings) == [("SIM001", 4)]
 
+    def test_multi_code_suppression_silences_both(self):
+        source = (
+            "import time\n"
+            "print(time.time())  # simlint: disable=SIM001,SIM006\n"
+        )
+        assert lint_source(source, "src/repro/sched/x.py") == []
+
+    def test_multi_code_suppression_parses_each_code(self):
+        source = "x = 1  # simlint: disable=SIM003, SIM004\n"
+        directives = parse_suppression_directives(source)
+        assert directives == [(1, 1, ("SIM003", "SIM004"))]
+
+    def test_disable_next_line_at_eof_targets_past_the_end(self):
+        # A trailing directive can never match; it parses cleanly and
+        # points one line past EOF (the flow lint's SIM104 flags it).
+        source = "x = 1\n# simlint: disable-next-line=SIM001"
+        directives = parse_suppression_directives(source)
+        assert directives == [(2, 3, ("SIM001",))]
+        assert lint_source(source, "snippet.py") == []
+
+    def test_crlf_file_suppression_still_applies(self):
+        source = (
+            "import time\r\n"
+            "# simlint: disable-next-line=SIM001\r\n"
+            "a = time.time()\r\n"
+            "b = time.time()\r\n"
+        )
+        findings = lint_source(source, "snippet.py")
+        assert codes_and_lines(findings) == [("SIM001", 4)]
+
 
 class TestAllowlists:
     def test_clock_module_may_read_the_clock(self):
@@ -144,6 +175,15 @@ class TestAllowlists:
     def test_unknown_select_code_rejected(self):
         with pytest.raises(LintUsageError, match="SIM999"):
             make_config(["SIM999"])
+
+    def test_unknown_select_code_gets_did_you_mean(self):
+        with pytest.raises(LintUsageError, match="did you mean"):
+            make_config(["SIM01"])
+
+    def test_flow_codes_accepted_by_select(self):
+        config = make_config(["SIM101", "SIM003"])
+        assert config.enabled("SIM101") and config.enabled("SIM003")
+        assert not config.enabled("SIM001")
 
 
 class TestReports:
@@ -173,6 +213,27 @@ class TestReports:
 
     def test_rule_catalogue_covers_all_codes(self):
         assert sorted(RULES) == [f"SIM00{i}" for i in range(1, 7)]
+
+    def test_sim000_carries_column_and_source_line(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n    pass\n")
+        findings, n_files = lint_paths([str(bad)])
+        assert n_files == 1
+        assert [f.code for f in findings] == ["SIM000"]
+        finding = findings[0]
+        assert finding.line == 1
+        # SyntaxError.offset is 1-based; the column points into the line.
+        assert finding.col == 7
+        assert "def f(:" in finding.message
+        # Same shape as every other rule: the JSON payload validates.
+        payload = json.loads(render_json(findings, n_files))
+        assert set(payload["findings"][0]) == {
+            "code",
+            "path",
+            "line",
+            "col",
+            "message",
+        }
 
 
 class TestCli:

@@ -184,6 +184,29 @@ class TestRecorderCrossCheck:
         assert recorder.subjobs_started == recorder.subjobs_completed
         assert recorder.steals == result.policy_stats["steals"]
 
+    def test_sim_start_time_and_summary_keys(self):
+        recorder, _ = _traced_run()
+        assert recorder.sim_start_time == 0.0
+        summary = recorder.summary()
+        for key in ("rules_published", "bid_rounds", "grants"):
+            assert key in summary
+
+    def test_decentral_counters_accumulate(self):
+        from repro.obs.hooks import HookBus
+        from repro.obs.recorder import TraceRecorder
+
+        bus = HookBus()
+        recorder = TraceRecorder()
+        bus.attach(recorder)
+        bus.emit(1.0, kinds.RULE_PUBLISH, "sched", job=1)
+        bus.emit(2.0, kinds.BID_ROUND, "sched", tasks=4)
+        bus.emit(2.0, kinds.BID_ROUND, "sched", tasks=2)
+        bus.emit(3.0, kinds.TASK_GRANT, "node", node=1)
+        summary = recorder.summary()
+        assert summary["rules_published"] == 1
+        assert summary["bid_rounds"] == 2
+        assert summary["grants"] == 1
+
     def test_untraced_run_unchanged(self):
         recorder, traced = _traced_run(seed=5)
         config = quick_config(

@@ -205,6 +205,7 @@ class TestHarness:
             "cache.lru_ops",
             "exec.fingerprint",
             "sched.bidding",
+            "lint.flow",
         ]
         for record in report.records:
             assert record.wall_seconds > 0

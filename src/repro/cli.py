@@ -7,7 +7,7 @@ Subcommands::
     repro limits                        # print the paper's theoretical anchors
     repro run fig3 --scale quick        # regenerate a figure
     repro run-all --scale full -o report.md
-    repro sweep fig3 -o fig3.json       # sweep -> summary-JSON v4
+    repro sweep fig3 -o fig3.json       # sweep -> summary-JSON v5
 
 Sweep-shaped commands (run, run-all, sweep, export, replicate,
 calibrate) share the execution-layer knobs: ``--jobs/-j`` (worker
@@ -43,7 +43,7 @@ from .experiments import (
     summarize_table,
 )
 from .sched import available_policies, policy_parameters, unknown_policy_message
-from .sim.config import FaultConfig, paper_config
+from .sim.config import FaultConfig, NetFaultConfig, paper_config
 from .sim.simulator import run_simulation
 
 
@@ -90,6 +90,15 @@ def _add_exec_args(parser: argparse.ArgumentParser, cache: bool = True) -> None:
         help="resume an interrupted sweep from its checkpoint journal: "
         "run only the specs the journal does not mark complete",
     )
+    group.add_argument(
+        "--spec-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill a sweep point that produces no completion within this "
+        "many wall seconds and record it as SpecError(kind='timeout') "
+        "($REPRO_SPEC_TIMEOUT sets the default)",
+    )
 
 
 def _executor_from_args(
@@ -114,6 +123,7 @@ def _executor_from_args(
         retry=RetryPolicy(max_attempts=2),
         journal_path=journal_path,
         resume=resume,
+        spec_timeout=getattr(args, "spec_timeout", None),
     )
 
 
@@ -153,6 +163,47 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="a crash also loses the node's disk cache contents",
     )
+    net = parser.add_argument_group("control-plane faults (repro.faults.net)")
+    net.add_argument(
+        "--net-loss",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-message control-plane loss probability in [0, 1) "
+        "(default 0: perfect network, zero-overhead pass-through)",
+    )
+    net.add_argument(
+        "--net-dup",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-message duplication probability in [0, 1)",
+    )
+    net.add_argument(
+        "--net-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="mean exponential one-way message delay in simulated seconds",
+    )
+    net.add_argument(
+        "--net-reorder",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability a message copy is held back past later traffic",
+    )
+
+
+def _net_config_from_args(args: argparse.Namespace) -> Optional[NetFaultConfig]:
+    """The control-plane fault model the flags describe (None = perfect)."""
+    net = NetFaultConfig(
+        loss=args.net_loss,
+        duplicate=args.net_dup,
+        delay_mean=args.net_delay,
+        reorder=args.net_reorder,
+    )
+    return net if net.enabled else None
 
 
 def _fault_config_from_args(args: argparse.Namespace) -> Optional[FaultConfig]:
@@ -181,7 +232,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "intensive analysis-job scheduling on PC clusters.",
         epilog=(
             "fault injection: simulate/trace accept --faults --mtbf DUR "
-            "--mttr DUR [--stall-interval DUR] [--wipe-cache].  "
+            "--mttr DUR [--stall-interval DUR] [--wipe-cache], plus "
+            "--net-loss/--net-dup/--net-delay/--net-reorder for "
+            "control-plane message faults (repro.faults.net).  "
             "performance: `repro bench` times the kernel hot paths and "
             "every policy end-to-end, writes BENCH_kernel.json / "
             "BENCH_policies.json, and with --baseline-dir fails on "
@@ -212,7 +265,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser(
         "sweep",
         help="run an experiment's raw sweep and emit its summary JSON "
-        "(schema v4; deterministic across --jobs, cache hits and --resume)",
+        "(schema v5; deterministic across --jobs, cache hits and --resume)",
     )
     sweep_parser.add_argument("experiment", help="experiment id (e.g. fig3)")
     _add_scale(sweep_parser)
@@ -566,6 +619,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         n_nodes=args.nodes,
         seed=args.seed,
         faults=_fault_config_from_args(args),
+        net=_net_config_from_args(args),
     )
     params = {}
     if args.period is not None:
@@ -628,6 +682,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ["messages / subjob", f"{sched.messages_per_subjob():.2f}"],
         ]
         print(format_table(["scheduler metric", "value"], sched_rows))
+    if config.net is not None and result.sched is not None:
+        sched = result.sched
+        net_rows = [
+            ["retransmits", sched.retransmits],
+            ["duplicates dropped", sched.duplicates_dropped],
+            ["ack timeouts", sched.timeouts],
+            ["dead letters", sched.dead_letters],
+            ["arbiter failovers", sched.failovers],
+        ]
+        print(
+            format_table(
+                ["reliability metric", "value"],
+                net_rows,
+                title="Control-plane reliability",
+            )
+        )
     if args.dump_records:
         from .sim.export import write_records_csv
 
@@ -666,6 +736,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         n_nodes=args.nodes,
         seed=args.seed,
         faults=_fault_config_from_args(args),
+        net=_net_config_from_args(args),
     )
     params = {}
     if args.period is not None:

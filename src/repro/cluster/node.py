@@ -138,6 +138,11 @@ class Node:
         #: its cache is invisible to placement decisions until recovery.
         self.failed = False
         self._down_since = 0.0
+        #: Control-plane reservation (repro.faults.net): set while a
+        #: reliable dispatch is in flight to this node so no other
+        #: scheduling decision double-books it; cleared on delivery or
+        #: dead-letter.  Always ``False`` on a perfect network.
+        self.reserved = False
         #: Per-event time multiplier for tertiary chunks (tertiary-stall
         #: modelling; snapshotted into each chunk at plan time, mirroring
         #: the contention planner's rate_factor approximation).
@@ -157,8 +162,9 @@ class Node:
 
     @property
     def idle(self) -> bool:
-        """Free to accept work: no running subjob and not crashed."""
-        return self.current is None and not self.failed
+        """Free to accept work: no running subjob, not crashed, and no
+        dispatch already in flight to it."""
+        return self.current is None and not self.failed and not self.reserved
 
     def current_source(self) -> Optional[DataSource]:
         """Data source of the in-flight chunk (None when idle)."""

@@ -32,6 +32,11 @@ class EventPriority(enum.IntEnum):
     PERIOD = 10
     #: New job arrivals.
     ARRIVAL = 20
+    #: Control-message deliveries on an unreliable channel: a dispatch
+    #: arriving at the same instant as an arrival lands first (the node
+    #: was committed when the message was sent), but after completions
+    #: and faults, which decide whether it still has a target.
+    MESSAGE = 25
     #: Fairness timeouts, load-estimator updates and other housekeeping.
     TIMER = 30
     #: Metric sampling probes — observe the state everyone else produced.

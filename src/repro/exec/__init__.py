@@ -17,10 +17,13 @@ from .cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ResultCache, resolve_cache_
 from .executor import (
     JOBS_ENV,
     NO_RETRY,
+    SPEC_TIMEOUT_ENV,
+    TIMEOUT_KIND,
     Executor,
     RetryPolicy,
     make_cache,
     resolve_jobs,
+    resolve_spec_timeout,
     run_with_retries,
 )
 from .fingerprint import FINGERPRINT_VERSION, spec_fingerprint, spec_payload
@@ -41,11 +44,14 @@ __all__ = [
     "Progress",
     "ResultCache",
     "RetryPolicy",
+    "SPEC_TIMEOUT_ENV",
     "SpecError",
     "SweepJournal",
+    "TIMEOUT_KIND",
     "make_cache",
     "resolve_cache_dir",
     "resolve_jobs",
+    "resolve_spec_timeout",
     "run_with_retries",
     "spec_fingerprint",
     "spec_payload",

@@ -12,6 +12,9 @@ chosen by ``jobs``.  Whatever the backend:
   :class:`~repro.exec.outcomes.SpecError` attached to that slot instead
   of aborting the pool, after bounded in-worker retries with the fault
   subsystem's exponential backoff;
+* with a spec timeout (``--spec-timeout`` / ``$REPRO_SPEC_TIMEOUT``) a
+  stuck worker is killed and surfaces as ``SpecError(kind="timeout")``
+  in its slot instead of hanging the batch forever;
 * with a :class:`~repro.exec.cache.ResultCache` attached, each spec is
   first looked up by content fingerprint and only misses are executed;
   completed misses are written back;
@@ -58,6 +61,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Environment override for the default worker count (CLI ``--jobs`` wins).
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment override for the per-spec timeout in seconds
+#: (CLI ``--spec-timeout`` wins).
+SPEC_TIMEOUT_ENV = "REPRO_SPEC_TIMEOUT"
+
+#: ``SpecError.kind`` used for slots killed by the spec timeout.
+TIMEOUT_KIND = "timeout"
 
 #: Progress callback type: called once per completed slot, completion order.
 ProgressCallback = Callable[[Progress], None]
@@ -112,6 +122,24 @@ def resolve_jobs(jobs: Optional[int], n_specs: int) -> int:
     if jobs is None:
         return 1 if n_specs <= 2 else min(n_specs, os.cpu_count() or 1)
     return max(1, min(jobs, max(1, n_specs)))
+
+
+def resolve_spec_timeout(spec_timeout: Optional[float]) -> Optional[float]:
+    """Per-spec timeout in seconds: explicit argument >
+    ``$REPRO_SPEC_TIMEOUT`` > no timeout."""
+    if spec_timeout is None:
+        env = os.environ.get(SPEC_TIMEOUT_ENV, "").strip()
+        if env:
+            try:
+                spec_timeout = float(env)
+            except ValueError:
+                raise ValueError(
+                    f"${SPEC_TIMEOUT_ENV} must be a number of seconds, "
+                    f"got {env!r}"
+                ) from None
+    if spec_timeout is not None and spec_timeout <= 0:
+        raise ValueError(f"spec timeout must be > 0, got {spec_timeout}")
+    return spec_timeout
 
 
 @dataclass(frozen=True)
@@ -197,6 +225,7 @@ class Executor:
         journal_path: Optional[Union[str, Path]] = None,
         resume: bool = False,
         obs: HookBus = NULL_BUS,
+        spec_timeout: Optional[float] = None,
     ) -> None:
         self.jobs = jobs
         self.cache = cache
@@ -204,6 +233,7 @@ class Executor:
         self.journal_path = Path(journal_path) if journal_path else None
         self.resume = resume
         self.obs = obs
+        self.spec_timeout = spec_timeout
 
     # -- the one entry point --------------------------------------------------
 
@@ -337,19 +367,48 @@ class Executor:
     def _execute(
         self, pending: List[int], specs: Sequence["RunSpec"]
     ) -> Iterator[_TaskResult]:
-        """Run the pending specs, yielding task results as they complete."""
+        """Run the pending specs, yielding task results as they complete.
+
+        With a spec timeout the pool backend is used even at one worker:
+        only a separate process can be killed once stuck.  The timeout
+        bounds the wait for *each next completion* — when it expires the
+        pool is terminated and every not-yet-seen slot is synthesized as
+        a ``timeout`` failure, so the batch always finishes.
+        """
         if not pending:
             return
+        timeout = resolve_spec_timeout(self.spec_timeout)
         jobs = resolve_jobs(self.jobs, len(pending))
         tasks = [(index, specs[index], self.retry) for index in pending]
-        if jobs <= 1:
+        if timeout is None and jobs <= 1:
             for task in tasks:
                 yield _pool_task(task)
             return
         # chunksize=1 keeps completions streaming: a long spec must not
         # hold a chunk of finished neighbours hostage.
         with multiprocessing.Pool(processes=jobs) as pool:
-            yield from pool.imap_unordered(_pool_task, tasks, chunksize=1)
+            iterator = pool.imap_unordered(_pool_task, tasks, chunksize=1)
+            seen: set = set()
+            for _ in range(len(tasks)):
+                try:
+                    index, attempts, payload = iterator.next(timeout)
+                except StopIteration:  # pragma: no cover - defensive
+                    break
+                except multiprocessing.TimeoutError:
+                    pool.terminate()
+                    for stuck in pending:
+                        if stuck not in seen:
+                            yield stuck, 1, _Failure(
+                                kind=TIMEOUT_KIND,
+                                message=(
+                                    f"no completion within the "
+                                    f"{timeout:g}s spec timeout"
+                                ),
+                                traceback="",
+                            )
+                    return
+                seen.add(index)
+                yield index, attempts, payload
 
     def _finish(
         self,
@@ -370,6 +429,8 @@ class Executor:
             )
         if isinstance(payload, _Failure):
             stats.failed += 1
+            if payload.kind == TIMEOUT_KIND:
+                stats.timeouts += 1
             error = SpecError(
                 index=index,
                 label=spec.label,

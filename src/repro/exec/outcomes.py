@@ -77,7 +77,8 @@ class ExecStats:
 
     ``executed + cache_hits + resumed`` equals ``total``; ``failed``
     counts executed slots that ended as :class:`SpecError` and ``retries``
-    counts extra attempts beyond each slot's first.
+    counts extra attempts beyond each slot's first.  ``timeouts`` counts
+    the subset of failures killed by the executor's spec timeout.
     """
 
     total: int = 0
@@ -86,6 +87,7 @@ class ExecStats:
     resumed: int = 0
     failed: int = 0
     retries: int = 0
+    timeouts: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -101,6 +103,7 @@ class ExecStats:
             "resumed": self.resumed,
             "failed": self.failed,
             "retries": self.retries,
+            "timeouts": self.timeouts,
             "wall_seconds": self.wall_seconds,
         }
 
@@ -110,6 +113,7 @@ class ExecStats:
             f"exec: total={self.total} executed={self.executed} "
             f"cache_hits={self.cache_hits} resumed={self.resumed} "
             f"failed={self.failed} retries={self.retries} "
+            f"timeouts={self.timeouts} "
             f"wall={self.wall_seconds:.1f}s"
         )
 

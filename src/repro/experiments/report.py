@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..core.clock import wall_clock
+from ..exec.executor import TIMEOUT_KIND
 from ..sim.runner import SweepResult, run_sweep
 from .registry import Experiment, Scale, all_experiments, get_experiment
 
@@ -38,7 +39,8 @@ def _render_errors(sweep: SweepResult) -> str:
         f"FAILED POINTS ({sweep.n_failed} of {len(sweep.specs)}):"
     ]
     for _, error in sweep.errors():
-        lines.append(f"  {error.brief()}")
+        tag = "TIMED OUT: " if error.kind == TIMEOUT_KIND else ""
+        lines.append(f"  {tag}{error.brief()}")
     return "\n".join(lines)
 
 

@@ -22,10 +22,13 @@ Enable with ``SimulationConfig(faults=FaultConfig(...))`` or the CLI's
 """
 
 from .injector import FaultInjector
+from .net import ChannelStats, ControlChannel
 from .processes import FaultEvent, build_fault_schedule
 from .recovery import RecoveryManager, backoff_delay, exponential_backoff
 
 __all__ = [
+    "ChannelStats",
+    "ControlChannel",
     "FaultEvent",
     "FaultInjector",
     "RecoveryManager",

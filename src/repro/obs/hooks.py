@@ -80,6 +80,15 @@ class kinds:
     BID_ROUND = "sched.bid_round"  # one arbitration round resolved
     TASK_GRANT = "sched.grant"  # batched grant applied on a node
 
+    # -- control-plane faults (repro.faults.net) -------------------------------
+    NET_DROP = "net.drop"  # a transmitted copy was lost in transit
+    NET_DELIVER = "net.deliver"  # first copy of a message arrived
+    NET_DUP = "net.dup"  # redundant copy discarded by receiver dedup
+    NET_RETRANSMIT = "net.retransmit"  # sender re-sent an unacked message
+    NET_TIMEOUT = "net.timeout"  # an ack timer fired
+    NET_DEAD_LETTER = "net.dead_letter"  # retransmit budget exhausted
+    NET_FAILOVER = "net.failover"  # arbiter lease lost; re-election ran
+
     # -- run framing -----------------------------------------------------------
     SIM_START = "sim.start"
     SIM_END = "sim.end"

@@ -139,6 +139,13 @@ class TraceRecorder(TraceSink):
         self.rules_published = 0
         self.bid_rounds = 0
         self.grants = 0
+        self.net_drops = 0
+        self.net_delivered = 0
+        self.net_duplicates = 0
+        self.net_retransmits = 0
+        self.net_timeouts = 0
+        self.net_dead_letters = 0
+        self.net_failovers = 0
         self.sim_start_time: Optional[float] = None
         self._busy: Set[int] = set()
         self.last_time = 0.0
@@ -237,6 +244,20 @@ class TraceRecorder(TraceSink):
             self.bid_rounds += 1
         elif kind == kinds.TASK_GRANT:
             self.grants += 1
+        elif kind == kinds.NET_DROP:
+            self.net_drops += 1
+        elif kind == kinds.NET_DELIVER:
+            self.net_delivered += 1
+        elif kind == kinds.NET_DUP:
+            self.net_duplicates += 1
+        elif kind == kinds.NET_RETRANSMIT:
+            self.net_retransmits += 1
+        elif kind == kinds.NET_TIMEOUT:
+            self.net_timeouts += 1
+        elif kind == kinds.NET_DEAD_LETTER:
+            self.net_dead_letters += 1
+        elif kind == kinds.NET_FAILOVER:
+            self.net_failovers += 1
         elif kind == kinds.SIM_START:
             self.sim_start_time = event.time
         elif kind == kinds.SIM_END:
@@ -328,6 +349,13 @@ class TraceRecorder(TraceSink):
             "rules_published": self.rules_published,
             "bid_rounds": self.bid_rounds,
             "grants": self.grants,
+            "net_drops": self.net_drops,
+            "net_delivered": self.net_delivered,
+            "net_duplicates": self.net_duplicates,
+            "net_retransmits": self.net_retransmits,
+            "net_timeouts": self.net_timeouts,
+            "net_dead_letters": self.net_dead_letters,
+            "net_failovers": self.net_failovers,
             "hit_ratio": self.hit_ratio,
         }
 

@@ -29,6 +29,7 @@ from .bench import (
     bench_engine_dispatch,
     bench_interval_ops,
     bench_intervalset_ops,
+    bench_net_channel,
     bench_simulation,
     fig5_config,
     run_kernel_bench,
@@ -57,6 +58,7 @@ __all__ = [
     "bench_engine_dispatch",
     "bench_interval_ops",
     "bench_intervalset_ops",
+    "bench_net_channel",
     "bench_simulation",
     "compare_reports",
     "fig5_config",

@@ -364,6 +364,53 @@ def bench_sched_bidding(
     )
 
 
+def bench_net_channel(
+    n_messages: int = 20_000, repeats: int = KERNEL_REPEATS
+) -> BenchRecord:
+    """Unreliable-control-plane kernel: reliable sends through a lossy
+    :class:`~repro.faults.net.ControlChannel` — loss/dup/delay draws,
+    ack+retransmit state machine, receiver dedup — driven to quiescence
+    on a bare engine.
+
+    >>> bench_net_channel(n_messages=50, repeats=1).unit
+    'msgs'
+    """
+    from ..core.engine import Engine
+    from ..core.rng import RandomStreams
+    from ..faults.net import ControlChannel
+    from ..sim.config import NetFaultConfig
+
+    config = NetFaultConfig(
+        loss=0.2, duplicate=0.05, delay_mean=0.01, reorder=0.05,
+        ack_timeout=0.5,
+    )
+
+    def setup() -> Callable[[], None]:
+        def run() -> None:
+            engine = Engine()
+            channel = ControlChannel(engine, config, RandomStreams(0))
+            deliver = _noop
+            for _ in range(n_messages):
+                channel.send_reliable(deliver, kind="bench")
+            engine.run(until=1e9)
+            assert channel.in_flight == 0, "channel failed to quiesce"
+
+        return run
+
+    wall = _best_of(setup, repeats)
+    return BenchRecord(
+        name="sched.netchannel",
+        wall_seconds=wall,
+        work=n_messages,
+        unit="msgs",
+        repeats=repeats,
+    )
+
+
+def _noop() -> None:
+    """Delivery sink for :func:`bench_net_channel`."""
+
+
 def _synthetic_flow_module(index: int) -> str:
     """One synthetic module exercising every flow-lint fact collector."""
     return (
@@ -524,6 +571,7 @@ def run_kernel_bench(
         lambda: bench_cache_lru(30_000 // scale, repeats),
         lambda: bench_exec_fingerprint(2_000 // scale, repeats),
         lambda: bench_sched_bidding(200 // scale, repeats),
+        lambda: bench_net_channel(20_000 // scale, repeats),
         lambda: bench_lint_flow(150 // scale, repeats),
     )
     records = tuple(_maybe_profile(build, profile) for build in builders)

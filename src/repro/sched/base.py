@@ -37,6 +37,7 @@ from ..workload.jobs import Job, Subjob
 if TYPE_CHECKING:  # pragma: no cover
     # Imported lazily to avoid a package cycle: sim.simulator imports this
     # module, and sim.config is only needed here for type hints.
+    from ..faults.net import ControlChannel
     from ..sim.config import SimulationConfig
     from .stats import SchedulerStats
 
@@ -58,6 +59,7 @@ class SchedulerContext:
         tertiary: TertiaryStorage,
         obs: HookBus = NULL_BUS,
         streams: Optional[RandomStreams] = None,
+        channel: Optional["ControlChannel"] = None,
     ) -> None:
         self.engine = engine
         self.cluster = cluster
@@ -65,6 +67,9 @@ class SchedulerContext:
         self.tertiary = tertiary
         self.obs = obs
         self.streams = streams
+        #: Unreliable control LAN (repro.faults.net); ``None`` on a
+        #: perfect network, in which case dispatches are synchronous.
+        self.channel = channel
 
     @property
     def now(self) -> float:
@@ -76,6 +81,13 @@ class SchedulerPolicy(ABC):
 
     #: Registry key; subclasses must override.
     name: str = ""
+
+    #: Whether dispatches are master→node control messages that must ride
+    #: the unreliable channel when one is enabled.  Decentral policies set
+    #: this ``False``: a grant already moved the task to the node, so its
+    #: local queue→CPU handoff is not LAN traffic (their control messages
+    #: — bids, grants, leases — go through the channel explicitly).
+    uses_central_dispatch: bool = True
 
     def __init__(self) -> None:
         self.ctx: Optional[SchedulerContext] = None
@@ -211,12 +223,27 @@ class SchedulerPolicy(ABC):
         ctx.obs.emit(ctx.engine.now, kind, "sched", **fields)
 
     def start_on(self, node: Node, subjob: Subjob) -> None:
-        """Start ``subjob`` on ``node`` (thin, assert-friendly wrapper)."""
+        """Start ``subjob`` on ``node`` (thin, assert-friendly wrapper).
+
+        On an unreliable control plane this is where central dispatch
+        becomes a reliable message: the node is reserved and the start
+        happens when (and if) the dispatch is delivered — see
+        :meth:`~repro.faults.net.ControlChannel.dispatch`.
+        """
         if not node.idle:
             raise SchedulingError(
                 f"{self.name}: node {node.node_id} not idle "
                 f"(busy={node.busy}, failed={node.failed})"
             )
+        ctx = self.ctx
+        if (
+            ctx is not None
+            and ctx.channel is not None
+            and ctx.channel.enabled
+            and self.uses_central_dispatch
+        ):
+            ctx.channel.dispatch(node, subjob)
+            return
         node.start(subjob)
 
     def split_running_subjob(self, subjob: Subjob, point: int) -> Optional[Subjob]:

@@ -33,9 +33,12 @@ sanitizer, process pools, result-cache hits or resumed sweeps.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...faults.net import ControlChannel
 
 from ...core import units
 from ...core.events import EventPriority
@@ -66,6 +69,10 @@ class DecentralPolicy(SchedulerPolicy):
     name = "decentral"
     #: Weight of the locality/cost term; the cache-blind ablation zeroes it.
     locality_weight: float = 1.0
+    #: A grant already moved the task to the node: the queue→CPU handoff
+    #: is node-local, not LAN traffic.  The policy's real control
+    #: messages (bids, grants, leases) ride the channel explicitly.
+    uses_central_dispatch = False
 
     def __init__(
         self,
@@ -103,6 +110,11 @@ class DecentralPolicy(SchedulerPolicy):
         self.stat_control_bytes = 0
         self.stat_control_seconds = 0.0
         self.stat_grant_bounces = 0
+        # -- control-plane reliability (repro.faults.net) -------------------
+        self.stat_bid_losses = 0
+        self.stat_grant_dead_letters = 0
+        self.stat_failovers = 0
+        self._lease_misses = 0
 
     def bind(self, ctx: SchedulerContext) -> None:
         super().bind(ctx)
@@ -111,6 +123,26 @@ class DecentralPolicy(SchedulerPolicy):
         if streams is None:  # manually built contexts (unit tests)
             streams = RandomStreams(ctx.config.seed)
         self._rng = streams.get("sched.arbiter")
+        channel = ctx.channel
+        if channel is not None and channel.enabled:
+            # Arbiter liveness: a lease beat every lease_interval; enough
+            # consecutive lost beats trigger a failover re-election.
+            interval = channel.config.lease_interval
+            if interval <= ctx.config.duration:
+                ctx.engine.call_after(
+                    interval,
+                    self._lease_tick,
+                    priority=EventPriority.TIMER,
+                    label="sched.lease",
+                )
+
+    @property
+    def _channel(self) -> Optional["ControlChannel"]:
+        """The enabled control channel, or ``None`` on a perfect LAN."""
+        ctx = self.ctx
+        if ctx is None or ctx.channel is None or not ctx.channel.enabled:
+            return None
+        return ctx.channel
 
     # -- rule publication (job arrival) -------------------------------------
 
@@ -209,32 +241,49 @@ class DecentralPolicy(SchedulerPolicy):
         bids: List[Bid] = []
         round_bytes = 0
         round_messages = 0
+        channel = self._channel
         for node in bidders:
             depth = len(self.node_queues[node.node_id])
-            for index, task in enumerate(candidates):
-                bids.append(
-                    Bid(
-                        node_id=node.node_id,
-                        task_index=index,
-                        score=score_candidate(
-                            node.cache,
-                            self.cluster.cost_model,
-                            task.remaining,
-                            now - task.job.arrival_time,
-                            locality_weight=self.locality_weight,
-                            aging_tau=self.aging_tau,
-                            queue_depth=depth,
-                        ),
-                    )
+            node_bids = [
+                Bid(
+                    node_id=node.node_id,
+                    task_index=index,
+                    score=score_candidate(
+                        node.cache,
+                        self.cluster.cost_model,
+                        task.remaining,
+                        now - task.job.arrival_time,
+                        locality_weight=self.locality_weight,
+                        aging_tau=self.aging_tau,
+                        queue_depth=depth,
+                    ),
                 )
+                for index, task in enumerate(candidates)
+            ]
             if node.node_id not in self._standing:
                 # First round since this node went hungry: it posts its
                 # standing offer.  While idle its cache is frozen, so
                 # the posted digest stays exact and later rounds match
-                # it without new traffic.
-                self._standing.add(node.node_id)
+                # it without new traffic.  The post is charged whether or
+                # not the LAN delivers it — the bytes went on the wire.
                 round_bytes += self.costs.bid_bytes(len(candidates))
                 round_messages += 1
+                if channel is not None and not channel.attempt(
+                    kind="bid", node=node.node_id
+                ):
+                    # Lost post: this round never saw the node's offer.
+                    # The node re-advertises after its bid timeout — a
+                    # fresh round where it is still hungry and unposted.
+                    self.stat_bid_losses += 1
+                    self.engine.call_after(
+                        channel.config.ack_timeout,
+                        self._request_round,
+                        priority=EventPriority.TIMER,
+                        label="sched.rebid",
+                    )
+                    continue
+                self._standing.add(node.node_id)
+            bids.extend(node_bids)
         assert self._rng is not None, "policy used before bind()"
         granted = arbitrate(bids, self.grant_batch, self._rng)
         grants: List[Tuple[int, List[Subjob]]] = []
@@ -258,39 +307,75 @@ class DecentralPolicy(SchedulerPolicy):
                 granted=sum(len(tasks) for _, tasks in grants),
             )
         if grants:
-            # Grants land after the control traffic has moved.
+            # Grants land after the control traffic has moved.  On an
+            # unreliable LAN each grant becomes a reliable message with
+            # idempotent (channel-deduplicated) delivery and a dead-letter
+            # path that re-pends the granted tasks.
+            apply = self._apply_grants if channel is None else self._send_grants
             self.engine.call_after(
                 delay,
-                self._apply_grants,
+                apply,
                 grants,
                 priority=EventPriority.TIMER,
                 label="sched.grant",
             )
 
     def _apply_grants(self, grants: List[Tuple[int, List[Subjob]]]) -> None:
+        """Perfect-LAN path: every grant lands at once."""
         bounced = False
         for node_id, tasks in grants:
-            node = self.cluster[node_id]
-            # Granted or dead, the node's standing offer leaves the board.
-            self._standing.discard(node_id)
-            if node.failed:
-                # The node died mid-round; its grant bounces back.
-                self.stat_grant_bounces += 1
-                self._repend(tasks)
-                bounced = True
-                continue
-            if self.obs.enabled:
-                self.emit(
-                    kinds.TASK_GRANT,
-                    node=node_id,
-                    tasks=len(tasks),
-                    sids=",".join(task.sid for task in tasks),
-                )
-            self.node_queues[node_id].extend(tasks)
-            if node.idle:
-                self._feed(node)
+            bounced |= not self._land_grant(node_id, tasks)
         if bounced:
             self._request_round()
+
+    def _send_grants(self, grants: List[Tuple[int, List[Subjob]]]) -> None:
+        """Lossy-LAN path: one reliable message per granted node."""
+        channel = self._channel
+        assert channel is not None
+        for node_id, tasks in grants:
+            channel.send_reliable(
+                lambda node_id=node_id, tasks=tasks: self._deliver_grant(
+                    node_id, tasks
+                ),
+                kind="grant",
+                node=node_id,
+                on_dead_letter=lambda node_id=node_id, tasks=tasks: (
+                    self._grant_dead_letter(node_id, tasks)
+                ),
+            )
+
+    def _deliver_grant(self, node_id: int, tasks: List[Subjob]) -> None:
+        if not self._land_grant(node_id, tasks):
+            self._request_round()
+
+    def _grant_dead_letter(self, node_id: int, tasks: List[Subjob]) -> None:
+        """The grant never made it: put the tasks back on the board."""
+        self._standing.discard(node_id)
+        self.stat_grant_dead_letters += 1
+        self._repend(tasks)
+        self._request_round()
+
+    def _land_grant(self, node_id: int, tasks: List[Subjob]) -> bool:
+        """Apply one grant on its node; ``False`` = bounced off a crash."""
+        node = self.cluster[node_id]
+        # Granted or dead, the node's standing offer leaves the board.
+        self._standing.discard(node_id)
+        if node.failed:
+            # The node died mid-round; its grant bounces back.
+            self.stat_grant_bounces += 1
+            self._repend(tasks)
+            return False
+        if self.obs.enabled:
+            self.emit(
+                kinds.TASK_GRANT,
+                node=node_id,
+                tasks=len(tasks),
+                sids=",".join(task.sid for task in tasks),
+            )
+        self.node_queues[node_id].extend(tasks)
+        if node.idle:
+            self._feed(node)
+        return True
 
     def _repend(self, tasks: List[Subjob]) -> None:
         by_job: Dict[int, List[Subjob]] = {}
@@ -311,6 +396,56 @@ class DecentralPolicy(SchedulerPolicy):
         self.stat_control_bytes += payload_bytes
         self.stat_control_seconds += seconds
         return seconds
+
+    # -- arbiter liveness (repro.faults.net) ---------------------------------
+
+    def _lease_tick(self) -> None:
+        """One arbiter lease beat on the lossy LAN.
+
+        Enough consecutive lost beats and the nodes declare the arbiter
+        dead: a failover re-election runs.  The channel being the only
+        loss source, this deliberately conflates "arbiter crashed" with
+        "arbiter unreachable" — indistinguishable from a node's chair.
+        """
+        channel = self._channel
+        if channel is None:
+            return
+        config = channel.config
+        self._charge(self.costs.bid_header_bytes, 1)
+        if channel.attempt(kind="lease"):
+            self._lease_misses = 0
+        else:
+            self._lease_misses += 1
+            if self._lease_misses >= config.lease_misses:
+                self._failover()
+                self._lease_misses = 0
+        if self.engine.now + config.lease_interval <= self.config.duration:
+            self.engine.call_after(
+                config.lease_interval,
+                self._lease_tick,
+                priority=EventPriority.TIMER,
+                label="sched.lease",
+            )
+
+    def _failover(self) -> None:
+        """Deterministic arbiter re-election after a lost lease.
+
+        Every live node votes for the lowest-id live node (ids give a
+        total order, so one round converges); the new arbiter's bulletin
+        board starts empty, which forces every hungry node to re-post its
+        standing offer — the grant/rule state lives in the (replicated)
+        rules, so no work is lost.
+        """
+        channel = self._channel
+        assert channel is not None
+        self.stat_failovers += 1
+        channel.stats.failovers += 1
+        live = [node for node in self.cluster if not node.failed]
+        self._charge(len(live) * self.costs.bid_header_bytes, len(live))
+        self._standing.clear()
+        if self.obs.enabled:
+            self.emit(kinds.NET_FAILOVER, nodes=len(live))
+        self._request_round()
 
     # -- reporting -----------------------------------------------------------
 
@@ -347,6 +482,9 @@ class DecentralPolicy(SchedulerPolicy):
             "control_bytes": float(self.stat_control_bytes),
             "control_seconds": self.stat_control_seconds,
             "grant_bounces": float(self.stat_grant_bounces),
+            "bid_losses": float(self.stat_bid_losses),
+            "grant_dead_letters": float(self.stat_grant_dead_letters),
+            "failovers": float(self.stat_failovers),
             "queued_at_end": float(
                 sum(len(queue) for queue in self.node_queues.values())
             ),

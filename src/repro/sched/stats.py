@@ -54,6 +54,18 @@ class SchedulerStats:
     control_seconds: float = 0.0
     #: Node dispatches (subjob starts + resumes); filled by the simulator.
     subjobs_started: int = 0
+    # -- control-plane reliability (repro.faults.net; all 0 on a perfect
+    # -- network; filled from ChannelStats by the simulator) -----------------
+    #: Messages re-sent by the ack+retransmit state machine.
+    retransmits: int = 0
+    #: Redundant copies discarded by receiver-side deduplication.
+    duplicates_dropped: int = 0
+    #: Ack timers that fired.
+    timeouts: int = 0
+    #: Messages that exhausted their retransmit budget (work re-pended).
+    dead_letters: int = 0
+    #: Arbiter failover re-elections (decentral mode).
+    failovers: int = 0
 
     def messages_per_subjob(self) -> float:
         """Control messages per node dispatch (NaN when nothing ran)."""
@@ -72,12 +84,22 @@ class SchedulerStats:
             "control_bytes": self.control_bytes,
             "control_seconds": self.control_seconds,
             "subjobs_started": self.subjobs_started,
+            "retransmits": self.retransmits,
+            "duplicates_dropped": self.duplicates_dropped,
+            "timeouts": self.timeouts,
+            "dead_letters": self.dead_letters,
+            "failovers": self.failovers,
             "messages_per_subjob": self.messages_per_subjob(),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SchedulerStats":
-        """Rebuild from :meth:`as_dict` output (summary-JSON round trip)."""
+        """Rebuild from :meth:`as_dict` output (summary-JSON round trip).
+
+        The reliability counters default to 0 so schema-v4 summaries
+        (written before the unreliable control plane existed) round-trip
+        unchanged.
+        """
         return cls(
             mode=str(payload["mode"]),
             rounds=int(payload["rounds"]),
@@ -88,6 +110,11 @@ class SchedulerStats:
             control_bytes=int(payload["control_bytes"]),
             control_seconds=float(payload["control_seconds"]),
             subjobs_started=int(payload["subjobs_started"]),
+            retransmits=int(payload.get("retransmits", 0)),
+            duplicates_dropped=int(payload.get("duplicates_dropped", 0)),
+            timeouts=int(payload.get("timeouts", 0)),
+            dead_letters=int(payload.get("dead_letters", 0)),
+            failovers=int(payload.get("failovers", 0)),
         )
 
     @classmethod

@@ -121,6 +121,97 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class NetFaultConfig:
+    """Control-plane unreliability parameters (``repro.faults.net``).
+
+    Every scheduler↔node control message (central dispatch/report,
+    decentral grants and standing-bid posts) is routed through a
+    :class:`~repro.faults.net.ControlChannel` that drops, duplicates,
+    reorders and delays messages with the probabilities below, drawn from
+    the dedicated ``faults.net.*`` RNG streams.  The hardened protocols
+    recover via ack+retransmit with exponential backoff
+    (``ack_timeout * ack_backoff_factor**(attempt-1)`` capped at
+    ``ack_timeout_max``), give up after ``retransmit_budget`` retransmits
+    (dead-letter: the work is re-pended, never stranded), and detect a
+    dead arbiter after ``lease_misses`` consecutive lost lease beats
+    (every ``lease_interval`` seconds) with a deterministic failover
+    re-election.
+    """
+
+    #: Per-transmission loss probability (applies to acks too).
+    loss: float = 0.0
+    #: Probability a transmitted copy is spontaneously duplicated.
+    duplicate: float = 0.0
+    #: Mean exponential one-way delivery delay in seconds (0 = immediate).
+    delay_mean: float = 0.0
+    #: Probability a copy is held back past later traffic (reordering).
+    reorder: float = 0.0
+    #: Extra delay window applied to a reordered copy.
+    reorder_window: float = 0.25
+    #: First retransmit timeout after an unacknowledged send.
+    ack_timeout: float = 1.0
+    #: Retransmit timeout growth factor per attempt.
+    ack_backoff_factor: float = 2.0
+    #: Retransmit timeout ceiling.
+    ack_timeout_max: float = 30.0
+    #: Retransmits before a message is dead-lettered (completion reports
+    #: retransmit without budget — losing ground truth is never an option).
+    retransmit_budget: int = 8
+    #: Arbiter lease heartbeat interval (decentral mode).
+    lease_interval: float = 60.0
+    #: Consecutive lost lease beats that trigger a failover re-election.
+    lease_misses: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate", "reorder"):
+            value = getattr(self, name)
+            if not (0.0 <= value < 1.0):
+                raise ConfigurationError(
+                    f"net {name} probability must be in [0, 1), got {value}"
+                )
+        if self.delay_mean < 0 or self.reorder_window < 0:
+            raise ConfigurationError(
+                f"net delays must be >= 0, got delay_mean={self.delay_mean}, "
+                f"reorder_window={self.reorder_window}"
+            )
+        if self.ack_timeout <= 0 or self.ack_backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"need ack_timeout > 0 and ack_backoff_factor >= 1, got "
+                f"timeout={self.ack_timeout}, factor={self.ack_backoff_factor}"
+            )
+        if self.ack_timeout_max < self.ack_timeout:
+            raise ConfigurationError(
+                "ack_timeout_max must be >= ack_timeout "
+                f"({self.ack_timeout_max} < {self.ack_timeout})"
+            )
+        if self.retransmit_budget < 1:
+            raise ConfigurationError(
+                f"retransmit_budget must be >= 1, got {self.retransmit_budget}"
+            )
+        if self.lease_interval <= 0 or self.lease_misses < 1:
+            raise ConfigurationError(
+                f"need lease_interval > 0 and lease_misses >= 1, got "
+                f"interval={self.lease_interval}, misses={self.lease_misses}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault dimension is actually active.
+
+        An all-zero config is the perfect network: the channel becomes a
+        synchronous pass-through that draws no random numbers and
+        schedules no events, so runs stay bit-identical to a channel-less
+        build.
+        """
+        return (
+            self.loss > 0
+            or self.duplicate > 0
+            or self.delay_mean > 0
+            or self.reorder > 0
+        )
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """All parameters of one simulation run.
 
@@ -173,6 +264,8 @@ class SimulationConfig:
     # -- fault injection --------------------------------------------------------
     #: ``None`` simulates the paper's implicitly perfect cluster.
     faults: Optional[FaultConfig] = None
+    #: ``None`` simulates the paper's implicitly perfect control LAN.
+    net: Optional[NetFaultConfig] = None
 
     # -- validation -------------------------------------------------------------------
 

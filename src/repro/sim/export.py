@@ -25,7 +25,10 @@ PathLike = Union[str, Path]
 #: guarantee that ``policy_stats`` and ``events_by_source`` are present.
 #: Version 3 added the ``faults`` object (``None`` on fault-free runs).
 #: Version 4 added the ``sched`` control-plane accounting object.
-SCHEMA_VERSION = 4
+#: Version 5 added the control-plane reliability counters (retransmits,
+#: duplicates_dropped, timeouts, dead_letters, failovers) inside
+#: ``sched``, all 0 on a perfect network.
+SCHEMA_VERSION = 5
 
 #: Keys every version-2 summary must carry.
 _REQUIRED_SUMMARY_KEYS = (
@@ -161,6 +164,9 @@ def load_result_json(path: PathLike) -> dict:
     summary.setdefault("events_by_source", {})
     summary.setdefault("faults", None)  # pre-v3 files: no fault injection
     summary.setdefault("sched", None)  # pre-v4 files: no control accounting
+    # Pre-v5 files: the ``sched`` object lacks the reliability counters;
+    # SchedulerStats.from_dict defaults them to 0 (perfect network), so
+    # v4 summaries round-trip without a rewrite here.
     missing = [key for key in _REQUIRED_SUMMARY_KEYS if key not in summary]
     if missing:
         raise ValueError(f"{path}: summary is missing keys {missing}")

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
+    from ..faults.net import ControlChannel
 
 from ..core import units
 from ..core.clock import wall_clock
@@ -158,6 +159,19 @@ class Simulation:
         self._primed = False
 
         self.cluster.set_completion_callback(self._on_subjob_complete)
+        #: Unreliable control plane (repro.faults.net); ``None`` keeps
+        #: every control path synchronous and draw-free (bit-identical to
+        #: a channel-less build).
+        self.channel: Optional["ControlChannel"] = None
+        if config.net is not None and config.net.enabled:
+            from ..faults.net import ControlChannel
+
+            self.channel = ControlChannel(
+                engine=self.engine,
+                config=config.net,
+                streams=self.streams,
+                obs=self.obs,
+            )
         policy.bind(
             SchedulerContext(
                 engine=self.engine,
@@ -166,8 +180,11 @@ class Simulation:
                 tertiary=self.tertiary,
                 obs=self.obs,
                 streams=self.streams,
+                channel=self.channel,
             )
         )
+        if self.channel is not None:
+            self.channel.attach_policy(policy)
         #: Fault injection (repro.faults); ``None`` = perfect cluster.
         self.injector: Optional["FaultInjector"] = None
         if config.faults is not None:
@@ -227,13 +244,36 @@ class Simulation:
                     waited=job.waiting_time,
                     processed=job.processing_time,
                 )
+        if self.channel is not None and self.channel.enabled:
+            # The node's completion report is a control message: the
+            # master-side reaction (retry drains, policy handlers) waits
+            # for it to arrive.  Reports retransmit without a budget —
+            # ground truth must eventually reach the master — while job
+            # completion itself (recorded above) is a node-local fact.
+            self.channel.send_reliable(
+                lambda: self._on_report_delivered(node, subjob, completed),
+                kind="report",
+                node=node.node_id,
+                unlimited=True,
+            )
+        else:
+            self._on_report_delivered(node, subjob, completed)
+
+    def _on_report_delivered(
+        self, node: Node, subjob: Subjob, completed: bool
+    ) -> None:
+        """Master-side completion handling (post-report on a lossy LAN)."""
         if self.injector is not None:
             # Due retries get first claim on the freed node; the policy
             # handler below then sees it busy and skips (the documented
             # deferred-completion pattern).
             self.injector.on_completion(node)
+        if self.channel is not None:
+            # Same first-claim treatment for subjobs re-pended after a
+            # dispatch dead-letter.
+            self.channel.drain()
         if completed:
-            self.policy.on_job_end(node, job, subjob)
+            self.policy.on_job_end(node, subjob.job, subjob)
         else:
             self.policy.on_subjob_end(node, subjob)
 
@@ -323,6 +363,16 @@ class Simulation:
             sched_stats = SchedulerStats.central_estimate(dispatches, completions)
         else:
             sched_stats = dataclasses.replace(sched_stats, subjobs_started=dispatches)
+        if self.channel is not None and self.channel.enabled:
+            net = self.channel.stats
+            sched_stats = dataclasses.replace(
+                sched_stats,
+                retransmits=net.retransmits,
+                duplicates_dropped=net.duplicates_dropped,
+                timeouts=net.timeouts,
+                dead_letters=net.dead_letters,
+                failovers=net.failovers,
+            )
         fault_summary: Optional[FaultSummary] = None
         if self.injector is not None:
             self.injector.finalize()

@@ -198,13 +198,15 @@ class TestSweep:
         )
         return code, out
 
-    def test_sweep_writes_v4_json(self, capsys, tmp_path):
+    def test_sweep_writes_versioned_json(self, capsys, tmp_path):
         import json
+
+        from repro.sim.runner import SWEEP_SCHEMA_VERSION
 
         code, out = self._sweep(tmp_path, "sweep.json")
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == SWEEP_SCHEMA_VERSION
         assert all("seed" in point for point in payload["results"])
         assert "exec: total=" in capsys.readouterr().out
 

@@ -320,3 +320,67 @@ class TestStats:
         brief = sweep.stats.brief()
         assert brief.startswith("exec: total=1 ")
         assert "cache_hits=0" in brief
+        assert "timeouts=0" in brief
+
+
+class TestSpecTimeout:
+    def test_resolve_explicit_env_and_validation(self, monkeypatch):
+        from repro.exec import SPEC_TIMEOUT_ENV, resolve_spec_timeout
+
+        monkeypatch.delenv(SPEC_TIMEOUT_ENV, raising=False)
+        assert resolve_spec_timeout(None) is None
+        assert resolve_spec_timeout(5.0) == 5.0
+        monkeypatch.setenv(SPEC_TIMEOUT_ENV, "2.5")
+        assert resolve_spec_timeout(None) == 2.5
+        assert resolve_spec_timeout(9.0) == 9.0  # explicit beats env
+        monkeypatch.setenv(SPEC_TIMEOUT_ENV, "soon")
+        with pytest.raises(ValueError):
+            resolve_spec_timeout(None)
+        with pytest.raises(ValueError):
+            resolve_spec_timeout(0.0)
+
+    def test_stuck_worker_becomes_timeout_spec_error(self, monkeypatch):
+        import time
+
+        import repro.exec.executor as executor_module
+
+        real = executor_module._execute_spec
+
+        def maybe_hang(spec):
+            if spec.label == "hang":
+                time.sleep(300)  # never finishes within the timeout
+            return real(spec)
+
+        # Pool workers are forked, so they inherit the patched function.
+        monkeypatch.setattr(executor_module, "_execute_spec", maybe_hang)
+        specs = _specs(1) + [
+            RunSpec.make(quick_config(duration=units.DAY), "farm",
+                         label="hang")
+        ]
+        outcome = Executor(jobs=2, spec_timeout=3.0).run(specs)
+
+        assert not isinstance(outcome.results[0], SpecError)
+        error = outcome.results[1]
+        assert isinstance(error, SpecError)
+        assert error.kind == "timeout"
+        assert "3" in error.message and "timeout" in error.message
+        assert outcome.stats.timeouts == 1
+        assert outcome.stats.failed == 1
+        assert "timeouts=1" in outcome.stats.brief()
+
+    def test_timeout_forces_pool_even_serial(self, monkeypatch):
+        # jobs=1 with a timeout must still run in a killable worker
+        # process, not in-process: only a separate process can be
+        # terminated once stuck.  Witness via worker PIDs.
+        import os
+
+        import repro.exec.executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module, "_execute_spec", lambda spec: os.getpid()
+        )
+        inline = Executor(jobs=1).run(_specs(2))
+        assert [pid == os.getpid() for pid in inline.results] == [True, True]
+        pooled = Executor(jobs=1, spec_timeout=60.0).run(_specs(2))
+        assert pooled.stats.failed == 0
+        assert all(pid != os.getpid() for pid in pooled.results)

@@ -1,0 +1,275 @@
+"""Tests for the unreliable control plane (repro.faults.net).
+
+Covers the tentpole guarantees: zero-overhead pass-through when
+disabled (bit-identical to a channel-less run), deterministic seeded
+fault injection when enabled (bit-identical across repeats, --jobs and
+the sanitizer), the ack+retransmit/dead-letter accounting invariant,
+exactly-once delivery under duplication, liveness under brutal loss
+(dead-lettered dispatches are re-pended, not stranded), and the
+decentral policy's lease-based arbiter failover.
+"""
+
+import math
+
+import pytest
+
+from repro.core import units
+from repro.core.engine import Engine
+from repro.core.rng import RandomStreams
+from repro.faults import ChannelStats, ControlChannel
+from repro.sim.config import NetFaultConfig, quick_config
+from repro.sim.export import SCHEMA_VERSION, result_summary_dict
+from repro.sim.runner import RunSpec, run_sweep
+from repro.sim.simulator import run_simulation
+
+
+def _config(net=None, **overrides):
+    defaults = dict(duration=2 * units.DAY, seed=3, n_nodes=6,
+                    arrival_rate_per_hour=6.0)
+    defaults.update(overrides)
+    return quick_config(net=net, **defaults)
+
+
+def _lossy(**overrides):
+    defaults = dict(loss=0.2, duplicate=0.1, delay_mean=0.05, reorder=0.1,
+                    ack_timeout=2.0)
+    defaults.update(overrides)
+    return NetFaultConfig(**defaults)
+
+
+def _comparable(result):
+    """The summary minus wall-clock noise and the config block (which
+    legitimately differs between net=None and a disabled NetFaultConfig)."""
+    summary = result_summary_dict(result)
+    summary.pop("wall_seconds")
+    summary.pop("config")
+    return summary
+
+
+class TestNetFaultConfig:
+    def test_all_zero_is_disabled(self):
+        assert not NetFaultConfig().enabled
+
+    @pytest.mark.parametrize(
+        "field", ["loss", "duplicate", "delay_mean", "reorder"]
+    )
+    def test_any_fault_knob_enables(self, field):
+        assert NetFaultConfig(**{field: 0.1}).enabled
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(loss=1.0),
+            dict(duplicate=-0.1),
+            dict(delay_mean=-1.0),
+            dict(ack_timeout=0.0),
+            dict(ack_backoff_factor=0.5),
+            dict(retransmit_budget=0),
+            dict(lease_misses=0),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(Exception):
+            NetFaultConfig(**bad)
+
+
+class TestDisabledPassThrough:
+    def test_disabled_config_matches_channelless_run(self):
+        bare = run_simulation(_config(net=None), "out-of-order")
+        disabled = run_simulation(
+            _config(net=NetFaultConfig()), "out-of-order"
+        )
+        assert _comparable(bare) == _comparable(disabled)
+
+    def test_disabled_channel_delivers_synchronously(self):
+        channel = ControlChannel(Engine(), None, RandomStreams(0))
+        seen = []
+        channel.send_reliable(lambda: seen.append("now"), kind="test")
+        assert seen == ["now"]
+        assert channel.attempt() is True
+        assert channel.stats == ChannelStats()
+        assert channel.in_flight == 0
+
+    def test_reliability_counters_zero_on_perfect_network(self):
+        result = run_simulation(_config(), "out-of-order")
+        sched = result.sched
+        assert (sched.retransmits, sched.duplicates_dropped, sched.timeouts,
+                sched.dead_letters, sched.failovers) == (0, 0, 0, 0, 0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", ["out-of-order", "decentral"])
+    def test_bit_identical_across_repeats(self, policy):
+        first = run_simulation(_config(net=_lossy()), policy)
+        second = run_simulation(_config(net=_lossy()), policy)
+        assert _comparable(first) == _comparable(second)
+
+    def test_bit_identical_under_sanitizer(self):
+        plain = run_simulation(_config(net=_lossy()), "out-of-order")
+        checked = run_simulation(
+            _config(net=_lossy()), "out-of-order", check_invariants=True
+        )
+        assert _comparable(plain) == _comparable(checked)
+
+    def test_sweep_json_identical_across_jobs(self):
+        def specs():
+            return [
+                RunSpec.make(_config(net=_lossy(), seed=seed), policy,
+                             label=f"{policy}@{seed}")
+                for seed in (1, 2)
+                for policy in ("out-of-order", "decentral")
+            ]
+
+        serial = run_sweep(specs(), processes=1)
+        pooled = run_sweep(specs(), processes=3)
+        assert serial.to_json() == pooled.to_json()
+
+    def test_adding_the_channel_does_not_perturb_other_streams(self):
+        # The channel draws only from its private faults.net.* streams:
+        # a run whose channel is enabled sees the same arrivals (and the
+        # same job population) as the perfect-network run.
+        bare = run_simulation(_config(), "out-of-order")
+        lossy = run_simulation(_config(net=_lossy()), "out-of-order")
+        assert lossy.jobs_arrived == bare.jobs_arrived
+
+
+class TestChannelProtocol:
+    def _channel(self, config, seed=0):
+        engine = Engine()
+        return engine, ControlChannel(engine, config, RandomStreams(seed))
+
+    def test_balance_invariant_under_heavy_loss(self):
+        engine, channel = self._channel(
+            NetFaultConfig(loss=0.6, ack_timeout=0.5, retransmit_budget=2)
+        )
+        delivered = []
+        dead = []
+        for i in range(200):
+            channel.send_reliable(
+                lambda i=i: delivered.append(i),
+                kind="test",
+                on_dead_letter=lambda i=i: dead.append(i),
+            )
+        engine.run(until=1000.0)
+        stats = channel.stats
+        assert channel.in_flight == 0
+        assert stats.sent == 200
+        assert stats.sent == stats.delivered + stats.dead_letters
+        assert len(delivered) == stats.delivered
+        assert stats.dead_letters > 0
+        # Exactly-once: dead-lettered messages never ran their handler.
+        assert set(delivered).isdisjoint(dead)
+        assert len(dead) == stats.dead_letters
+
+    def test_exactly_once_under_certain_duplication(self):
+        engine, channel = self._channel(NetFaultConfig(duplicate=0.99))
+        count = [0]
+        for _ in range(100):
+            channel.send_reliable(lambda: count.__setitem__(0, count[0] + 1),
+                                  kind="test")
+        engine.run(until=100.0)
+        assert count[0] == 100
+        assert channel.stats.duplicates > 0
+        assert channel.stats.duplicates_dropped > 0
+        assert channel.in_flight == 0
+
+    def test_unlimited_messages_never_dead_letter(self):
+        engine, channel = self._channel(
+            NetFaultConfig(loss=0.9, ack_timeout=0.5, retransmit_budget=1)
+        )
+        delivered = [0]
+        for _ in range(30):
+            channel.send_reliable(
+                lambda: delivered.__setitem__(0, delivered[0] + 1),
+                kind="report",
+                unlimited=True,
+            )
+        engine.run(until=500_000.0)
+        assert delivered[0] == 30
+        assert channel.stats.dead_letters == 0
+        assert channel.in_flight == 0
+
+    def test_delivered_but_unacked_retires_without_dead_letter(self):
+        # loss=0 forward... force the scenario directly: mark a message
+        # delivered, then exhaust its budget — the dead-letter callback
+        # must NOT run (the work already happened exactly once).
+        engine, channel = self._channel(
+            NetFaultConfig(loss=0.5, ack_timeout=1.0, retransmit_budget=1)
+        )
+        dead = []
+        channel.send_reliable(lambda: None, kind="test",
+                              on_dead_letter=lambda: dead.append(True))
+        (msg,) = channel._messages.values()
+        msg.delivered = True
+        channel._give_up(msg)
+        assert dead == []
+        assert channel.stats.dead_letters == 0
+        assert channel.in_flight == 0
+
+    def test_oneway_posts_tracked_separately(self):
+        engine, channel = self._channel(NetFaultConfig(loss=0.5))
+        survived = sum(channel.attempt() for _ in range(400))
+        stats = channel.stats
+        assert stats.oneway_sent == 400
+        assert stats.oneway_lost == 400 - survived
+        assert stats.sent == 0  # not part of the reliable balance
+        assert 100 < survived < 300  # loss is actually being applied
+
+
+class TestEndToEndLiveness:
+    def test_brutal_loss_still_completes_the_workload(self):
+        net = NetFaultConfig(loss=0.45, ack_timeout=0.5, retransmit_budget=2)
+        result = run_simulation(_config(net=net), "out-of-order")
+        sched = result.sched
+        assert sched.dead_letters > 0  # the re-pend path actually ran
+        assert sched.retransmits > 0
+        # Dead-lettered dispatches are re-pended, not stranded: nearly
+        # everything that arrived still completes.
+        assert result.jobs_completed >= 0.9 * result.jobs_arrived
+
+    def test_summary_json_carries_v5_reliability_counters(self):
+        result = run_simulation(_config(net=_lossy()), "out-of-order")
+        summary = result_summary_dict(result)
+        assert summary["schema_version"] == SCHEMA_VERSION
+        sched = summary["sched"]
+        assert sched["retransmits"] > 0
+        for key in ("duplicates_dropped", "timeouts", "dead_letters",
+                    "failovers"):
+            assert key in sched
+        assert not math.isnan(sched["messages_per_subjob"])
+
+
+class TestDecentralHardening:
+    def test_failover_fires_under_loss(self):
+        net = NetFaultConfig(loss=0.2, ack_timeout=2.0, lease_interval=600.0,
+                             lease_misses=2)
+        result = run_simulation(_config(net=net), "decentral")
+        assert result.sched.failovers > 0
+        assert result.jobs_completed >= 0.9 * result.jobs_arrived
+
+    def test_perfect_network_decentral_untouched(self):
+        bare = run_simulation(_config(), "decentral")
+        disabled = run_simulation(_config(net=NetFaultConfig()), "decentral")
+        assert _comparable(bare) == _comparable(disabled)
+        assert bare.sched.failovers == 0
+
+    def test_bid_losses_counted(self):
+        result = run_simulation(
+            _config(net=NetFaultConfig(loss=0.3, ack_timeout=1.0)),
+            "decentral",
+        )
+        assert int(result.policy_stats["bid_losses"]) > 0
+
+
+class TestObsEvents:
+    def test_net_events_reach_the_recorder(self):
+        from repro.obs import TraceRecorder
+
+        recorder = TraceRecorder(capacity=200_000)
+        run_simulation(_config(net=_lossy()), "out-of-order", sink=recorder)
+        recorder.close()
+        summary = recorder.summary()
+        assert summary["net_drops"] > 0
+        assert summary["net_delivered"] > 0
+        assert summary["net_retransmits"] > 0
+        assert summary["net_timeouts"] > 0

@@ -205,6 +205,7 @@ class TestHarness:
             "cache.lru_ops",
             "exec.fingerprint",
             "sched.bidding",
+            "sched.netchannel",
             "lint.flow",
         ]
         for record in report.records:

@@ -22,6 +22,7 @@ from repro.sched.decentral import (
 from repro.sched.stats import CENTRAL_MESSAGE_BYTES, SchedulerStats
 from repro.sim.config import FaultConfig, ScriptedFault, quick_config
 from repro.sim.export import (
+    SCHEMA_VERSION,
     load_result_json,
     result_summary_dict,
     write_result_json,
@@ -246,7 +247,7 @@ class TestSchedulerStats:
         path = tmp_path / "summary.json"
         write_result_json(path, result)
         loaded = load_result_json(path)
-        assert loaded["schema_version"] == 4
+        assert loaded["schema_version"] == SCHEMA_VERSION
         assert loaded["sched"] == json.loads(
             json.dumps(result.sched.as_dict(), default=float)
         )

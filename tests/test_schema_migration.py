@@ -1,0 +1,111 @@
+"""Summary-JSON schema migration tests (v4 -> v5).
+
+Version 5 added the control-plane reliability counters inside ``sched``.
+The committed ``tests/goldens/summary_v4.json`` fixture is a real v4
+summary (written by the pre-v5 tool); these tests pin the migration
+contract: v4 files load unchanged with the new counters defaulting to 0,
+files from the future are rejected with a clear error, and the result
+cache's fingerprint namespace rolls over with the schema so stale
+pickles are never served.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec import make_cache, spec_fingerprint
+from repro.sched.stats import SchedulerStats
+from repro.sim.config import quick_config
+from repro.sim.export import (
+    SCHEMA_VERSION,
+    load_result_json,
+    result_summary_dict,
+    write_result_json,
+)
+from repro.sim.runner import RunSpec
+from repro.sim.simulator import run_simulation
+
+V4_FIXTURE = Path(__file__).parent / "goldens" / "summary_v4.json"
+
+
+class TestV4RoundTrip:
+    def test_fixture_is_genuinely_v4(self):
+        raw = json.loads(V4_FIXTURE.read_text())
+        assert raw["schema_version"] == 4
+        assert "retransmits" not in raw["sched"]
+
+    def test_v4_fixture_loads_unchanged(self):
+        raw = json.loads(V4_FIXTURE.read_text())
+        loaded = load_result_json(V4_FIXTURE)
+        # The reader leaves v4 payloads alone — no rewriting, no
+        # injected keys; tolerance lives in SchedulerStats.from_dict.
+        assert loaded == raw
+
+    def test_v4_sched_rebuilds_with_zero_reliability_counters(self):
+        loaded = load_result_json(V4_FIXTURE)
+        stats = SchedulerStats.from_dict(loaded["sched"])
+        assert stats.mode == "decentral"
+        assert stats.messages == loaded["sched"]["messages"]
+        assert (stats.retransmits, stats.duplicates_dropped, stats.timeouts,
+                stats.dead_letters, stats.failovers) == (0, 0, 0, 0, 0)
+
+    def test_v4_round_trips_through_as_dict(self):
+        loaded = load_result_json(V4_FIXTURE)
+        rebuilt = SchedulerStats.from_dict(loaded["sched"]).as_dict()
+        # Every v4 key survives with its value; the v5 additions are 0.
+        for key, value in loaded["sched"].items():
+            assert rebuilt[key] == value
+
+
+class TestCurrentSchema:
+    def _result(self):
+        return run_simulation(
+            quick_config(duration=43_200.0, seed=2, n_nodes=3), "farm"
+        )
+
+    def test_writer_stamps_current_version(self, tmp_path):
+        path = tmp_path / "s.json"
+        write_result_json(path, self._result())
+        loaded = load_result_json(path)
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        stats = SchedulerStats.from_dict(loaded["sched"])
+        assert stats.as_dict() == loaded["sched"]
+
+    def test_summary_dict_sched_carries_reliability_keys(self):
+        sched = result_summary_dict(self._result())["sched"]
+        for key in ("retransmits", "duplicates_dropped", "timeouts",
+                    "dead_letters", "failovers"):
+            assert sched[key] == 0
+
+
+class TestFutureVersionRejected:
+    def test_newer_schema_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "future.json"
+        payload = json.loads(V4_FIXTURE.read_text())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match=(
+            f"schema_version {SCHEMA_VERSION + 1} is newer than the "
+            f"supported {SCHEMA_VERSION}"
+        )):
+            load_result_json(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            load_result_json(path)
+
+
+class TestFingerprintNamespace:
+    def test_fingerprint_tracks_the_schema_constant(self):
+        # The cache is keyed by the *current* SCHEMA_VERSION constant —
+        # no hardcoded literals — so the v5 bump automatically started a
+        # fresh namespace instead of serving v4-era pickles.
+        spec = RunSpec.make(quick_config(), "farm")
+        assert make_cache("unused").schema_version == SCHEMA_VERSION
+        assert (
+            spec_fingerprint(spec, SCHEMA_VERSION)
+            != spec_fingerprint(spec, SCHEMA_VERSION - 1)
+        )

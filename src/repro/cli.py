@@ -7,7 +7,7 @@ Subcommands::
     repro limits                        # print the paper's theoretical anchors
     repro run fig3 --scale quick        # regenerate a figure
     repro run-all --scale full -o report.md
-    repro sweep fig3 -o fig3.json       # sweep -> summary-JSON v5
+    repro sweep fig3 -o fig3.json       # sweep -> summary-JSON v6
 
 Sweep-shaped commands (run, run-all, sweep, export, replicate,
 calibrate) share the execution-layer knobs: ``--jobs/-j`` (worker
@@ -235,10 +235,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "--mttr DUR [--stall-interval DUR] [--wipe-cache], plus "
             "--net-loss/--net-dup/--net-delay/--net-reorder for "
             "control-plane message faults (repro.faults.net).  "
-            "performance: `repro bench` times the kernel hot paths and "
-            "every policy end-to-end, writes BENCH_kernel.json / "
-            "BENCH_policies.json, and with --baseline-dir fails on "
-            "throughput regressions (see docs/PERFORMANCE.md)."
+            "performance: `repro bench` times the kernel hot paths, "
+            "every policy end-to-end and the 10/100/1000-node scale tier "
+            "(peak RSS included), writes BENCH_kernel.json / "
+            "BENCH_policies.json / BENCH_scale.json, and with "
+            "--baseline-dir fails on throughput or memory regressions "
+            "(see docs/PERFORMANCE.md and docs/SCALING.md)."
         ),
     )
     parser.add_argument(
@@ -265,7 +267,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser(
         "sweep",
         help="run an experiment's raw sweep and emit its summary JSON "
-        "(schema v5; deterministic across --jobs, cache hits and --resume)",
+        "(schema v6; deterministic across --jobs, cache hits and --resume)",
     )
     sweep_parser.add_argument("experiment", help="experiment id (e.g. fig3)")
     _add_scale(sweep_parser)
@@ -310,6 +312,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sim_parser.add_argument(
         "--dump-records", default=None, help="write per-job records CSV here"
+    )
+    sim_parser.add_argument(
+        "--retain-records",
+        action="store_true",
+        help="keep every per-job record in memory instead of the default "
+        "bounded retention (first 100k records, the rest summarised by "
+        "the streaming metrics); implied by --dump-records",
     )
     sim_parser.add_argument(
         "--dump-json", default=None, help="write the result summary JSON here"
@@ -445,8 +454,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench_parser = sub.add_parser(
         "bench",
-        help="benchmark the simulation kernel and policies; write "
-        "BENCH_*.json and optionally compare against a committed baseline",
+        help="benchmark the simulation kernel, policies and scale tier; "
+        "write BENCH_*.json and optionally compare against a committed "
+        "baseline",
     )
     bench_parser.add_argument(
         "--quick",
@@ -462,15 +472,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--kind",
-        choices=["kernel", "policies", "all"],
+        choices=["kernel", "policies", "scale", "all"],
         default="all",
-        help="which report(s) to produce (default: all)",
+        help="which report(s) to produce: kernel micro-benchmarks, "
+        "end-to-end policy runs, or the 10/100/1000-node scale tier "
+        "with peak-RSS tracking (default: all)",
     )
     bench_parser.add_argument(
         "--out-dir",
         default=".",
         metavar="DIR",
-        help="directory receiving BENCH_kernel.json / BENCH_policies.json "
+        help="directory receiving the BENCH_<kind>.json report(s) "
         "(default: current directory)",
     )
     bench_parser.add_argument(
@@ -634,6 +646,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config,
         policy,
         check_invariants=args.check_invariants,
+        # --dump-records needs every record; truncated CSV would silently
+        # misrepresent the run.
+        retain_records=args.retain_records or bool(args.dump_records),
         **params,
     )
     print(result.brief())
@@ -942,6 +957,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         report_filename,
         run_kernel_bench,
         run_policy_bench,
+        run_scale_bench,
     )
 
     if args.threshold is not None and args.baseline_dir is None:
@@ -954,11 +970,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    kinds = ["kernel", "policies"] if args.kind == "all" else [args.kind]
+    kinds = (
+        ["kernel", "policies", "scale"] if args.kind == "all" else [args.kind]
+    )
     regressed = False
     for kind in kinds:
         if kind == "kernel":
             report = run_kernel_bench(quick=args.quick, profile=args.profile)
+        elif kind == "scale":
+            report = run_scale_bench(quick=args.quick, profile=args.profile)
         else:
             report = run_policy_bench(quick=args.quick, profile=args.profile)
         print(render_report(report))

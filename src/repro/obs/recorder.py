@@ -88,17 +88,33 @@ class CounterSample:
 class TraceRecorder(TraceSink):
     """Accumulates a traced run in memory.
 
-    ``capacity`` bounds the raw-event buffer (counters, spans and samples
-    keep accumulating past it).  ``keep`` selects which end of the run the
+    ``capacity`` bounds the raw-event buffer (counters and samples keep
+    accumulating past it).  ``keep`` selects which end of the run the
     buffer retains once full: ``"last"`` (ring buffer, default) or
     ``"first"`` (head of the run, then drop).
+
+    ``max_spans`` / ``max_slices`` bound the derived span and chunk-slice
+    lists the same way the ``keep="first"`` buffer is bounded: the head
+    of the run is retained, later entries are counted in
+    ``spans_dropped`` / ``slices_dropped`` instead of stored.  The
+    defaults are far above anything a paper-scale trace produces; they
+    exist so a million-job traced run degrades to truncated timelines
+    instead of unbounded memory.  The counter time-series is already
+    bounded by construction — O(duration / sample_interval), independent
+    of job count — so it carries no cap.
     """
+
+    #: Default ceilings for the derived per-subjob structures.
+    DEFAULT_MAX_SPANS = 500_000
+    DEFAULT_MAX_SLICES = 1_000_000
 
     def __init__(
         self,
         capacity: int = 200_000,
         sample_interval: float = 3600.0,
         keep: str = "last",
+        max_spans: int = DEFAULT_MAX_SPANS,
+        max_slices: int = DEFAULT_MAX_SLICES,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -106,9 +122,15 @@ class TraceRecorder(TraceSink):
             raise ValueError(f"sample_interval must be >= 0, got {sample_interval}")
         if keep not in ("first", "last"):
             raise ValueError(f"keep must be 'first' or 'last', got {keep!r}")
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        if max_slices < 1:
+            raise ValueError(f"max_slices must be >= 1, got {max_slices}")
         self.capacity = capacity
         self.sample_interval = sample_interval
         self.keep = keep
+        self.max_spans = max_spans
+        self.max_slices = max_slices
         #: Ring mode, precomputed: ``on_event`` runs once per emitted
         #: event, so it tests a bool instead of re-comparing ``keep``.
         self._ring = keep == "last"
@@ -153,6 +175,8 @@ class TraceRecorder(TraceSink):
         # -- derived structures -------------------------------------------------
         self.spans: List[Span] = []
         self.chunk_slices: List[ChunkSlice] = []
+        self.spans_dropped = 0
+        self.slices_dropped = 0
         self.samples: List[CounterSample] = []
         self._open_spans: Dict[int, Span] = {}
         self._last_sample = -math.inf
@@ -176,7 +200,7 @@ class TraceRecorder(TraceSink):
         self._closed = True
         for span in self._open_spans.values():
             span.end = self.last_time
-            self.spans.append(span)
+            self._append_span(span)
         self._open_spans.clear()
         self._sample(self.last_time)
 
@@ -185,16 +209,19 @@ class TraceRecorder(TraceSink):
     def _count(self, event: TraceEvent) -> None:
         kind = event.kind
         if kind == kinds.CHUNK_DONE:
-            duration = event.data.get("duration", 0.0)
-            self.chunk_slices.append(
-                ChunkSlice(
-                    node=event.node,
-                    source=event.data.get("src", "?"),
-                    start=event.time - duration,
-                    end=event.time,
-                    events=event.data.get("events", 0),
+            if len(self.chunk_slices) >= self.max_slices:
+                self.slices_dropped += 1
+            else:
+                duration = event.data.get("duration", 0.0)
+                self.chunk_slices.append(
+                    ChunkSlice(
+                        node=event.node,
+                        source=event.data.get("src", "?"),
+                        start=event.time - duration,
+                        end=event.time,
+                        events=event.data.get("events", 0),
+                    )
                 )
-            )
         elif kind == kinds.CACHE_HIT:
             self.cache_hit_events += event.data.get("events", 0)
         elif kind == kinds.CACHE_MISS:
@@ -263,13 +290,20 @@ class TraceRecorder(TraceSink):
         elif kind == kinds.SIM_END:
             self.close()
 
+    def _append_span(self, span: Span) -> None:
+        """Record a finished span, or count it once the cap is hit."""
+        if len(self.spans) >= self.max_spans:
+            self.spans_dropped += 1
+        else:
+            self.spans.append(span)
+
     def _open_span(self, event: TraceEvent) -> None:
         # A start on a node whose previous span never closed (should not
         # happen) is closed defensively rather than leaked.
         stale = self._open_spans.pop(event.node, None)
         if stale is not None:
             stale.end = event.time
-            self.spans.append(stale)
+            self._append_span(stale)
         self._open_spans[event.node] = Span(
             node=event.node, job=event.job, sid=event.sid, start=event.time, end=event.time
         )
@@ -278,7 +312,7 @@ class TraceRecorder(TraceSink):
         span = self._open_spans.pop(event.node, None)
         if span is not None:
             span.end = event.time
-            self.spans.append(span)
+            self._append_span(span)
 
     # -- sampling --------------------------------------------------------------------
 
@@ -329,6 +363,10 @@ class TraceRecorder(TraceSink):
             "events_recorded": len(self.events),
             "events_emitted": self.total_emitted,
             "events_dropped": self.dropped_events,
+            "spans_recorded": len(self.spans),
+            "spans_dropped": self.spans_dropped,
+            "slices_recorded": len(self.chunk_slices),
+            "slices_dropped": self.slices_dropped,
             "jobs_arrived": self.jobs_arrived,
             "jobs_completed": self.jobs_completed,
             "jobs_scheduled": self.jobs_scheduled,

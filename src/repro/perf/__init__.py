@@ -2,14 +2,16 @@
 
 Public surface:
 
-* :func:`run_kernel_bench` / :func:`run_policy_bench` — produce
-  :class:`BenchReport` s for the simulator's hot paths and the end-to-end
-  policy runs;
+* :func:`run_kernel_bench` / :func:`run_policy_bench` /
+  :func:`run_scale_bench` — produce :class:`BenchReport` s for the
+  simulator's hot paths, the end-to-end policy runs and the
+  10/100/1000-node scale tier (see docs/SCALING.md);
 * :class:`BenchReport` / :class:`BenchRecord` — the stable
   ``BENCH_*.json`` schema (wall time, work, throughput, git SHA, peak
-  RSS);
+  RSS; scale-tier records carry per-run ``rss_kb``);
 * :func:`compare_reports` / :func:`load_baseline` — committed-baseline
-  regression checking with a configurable slowdown threshold;
+  regression checking with configurable slowdown and peak-RSS
+  thresholds;
 * :func:`profile_call` — cProfile top-N hotspot extraction
   (``repro bench --profile``).
 
@@ -17,6 +19,7 @@ See docs/PERFORMANCE.md for how these pieces fit together.
 """
 
 from .baseline import (
+    DEFAULT_RSS_THRESHOLD,
     DEFAULT_THRESHOLD,
     ComparisonResult,
     RecordComparison,
@@ -36,6 +39,13 @@ from .bench import (
     run_policy_bench,
 )
 from .profiling import profile_call
+from .scale import (
+    QUICK_SCALE_SIZES,
+    SCALE_SIZES,
+    bench_scale_point,
+    run_scale_bench,
+    scale_config,
+)
 from .report import (
     SCHEMA_VERSION,
     BenchRecord,
@@ -47,7 +57,10 @@ from .report import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "DEFAULT_RSS_THRESHOLD",
     "DEFAULT_THRESHOLD",
+    "QUICK_SCALE_SIZES",
+    "SCALE_SIZES",
     "BenchRecord",
     "BenchReport",
     "Hotspot",
@@ -59,6 +72,7 @@ __all__ = [
     "bench_interval_ops",
     "bench_intervalset_ops",
     "bench_net_channel",
+    "bench_scale_point",
     "bench_simulation",
     "compare_reports",
     "fig5_config",
@@ -68,4 +82,6 @@ __all__ = [
     "report_filename",
     "run_kernel_bench",
     "run_policy_bench",
+    "run_scale_bench",
+    "scale_config",
 ]

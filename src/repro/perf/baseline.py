@@ -1,14 +1,18 @@
 """Committed-baseline comparison: fail CI on throughput regressions.
 
-The repository commits ``BENCH_kernel.json`` / ``BENCH_policies.json`` at
-its root.  A fresh benchmark run is compared record-by-record (matched by
-name) against those files: a record **regresses** when
+The repository commits ``BENCH_kernel.json`` / ``BENCH_policies.json`` /
+``BENCH_scale.json`` at its root.  A fresh benchmark run is compared
+record-by-record (matched by name) against those files: a record
+**regresses** when
 
     baseline_throughput / current_throughput > threshold
 
-i.e. the threshold is the tolerated slowdown factor.  Records present on
-only one side are reported but never fail the comparison — quick CI runs
-deliberately execute a subset of the committed full baseline.
+i.e. the threshold is the tolerated slowdown factor.  Records carrying a
+peak-RSS measurement (``rss_kb``, the scale tier) are additionally gated
+on memory: ``current_rss / baseline_rss > rss_threshold`` regresses too.
+Records present on only one side are reported but never fail the
+comparison — quick CI runs deliberately execute a subset of the
+committed full baseline.
 
 >>> from .report import BenchRecord, BenchReport
 >>> base = BenchReport(kind="kernel", records=(
@@ -37,6 +41,13 @@ from .report import BenchReport, report_filename
 #: docs/PERFORMANCE.md for the policy behind this number.
 DEFAULT_THRESHOLD = 2.0
 
+#: Default tolerated peak-RSS growth factor for records that carry
+#: ``rss_kb`` (the scale tier).  Memory is far less noisy than wall time
+#: across machines, but allocator and interpreter-version variance is
+#: real; 2.0x still catches a per-job list sneaking back into the
+#: metrics path (which grows RSS by an order of magnitude at 1M jobs).
+DEFAULT_RSS_THRESHOLD = 2.0
+
 
 @dataclass(frozen=True)
 class RecordComparison:
@@ -46,6 +57,11 @@ class RecordComparison:
     baseline_throughput: float
     current_throughput: float
     threshold: float
+    #: Peak-RSS ceiling check — engaged only when *both* sides measured
+    #: ``rss_kb`` (the scale tier); ``None`` on either side disables it.
+    baseline_rss_kb: Optional[int] = None
+    current_rss_kb: Optional[int] = None
+    rss_threshold: float = DEFAULT_RSS_THRESHOLD
 
     @property
     def slowdown(self) -> float:
@@ -55,16 +71,34 @@ class RecordComparison:
         return self.baseline_throughput / self.current_throughput
 
     @property
+    def rss_growth(self) -> Optional[float]:
+        """Current over baseline peak RSS, or ``None`` when unmeasured."""
+        if self.baseline_rss_kb is None or self.current_rss_kb is None:
+            return None
+        if self.baseline_rss_kb <= 0:
+            return float("inf") if self.current_rss_kb > 0 else 1.0
+        return self.current_rss_kb / self.baseline_rss_kb
+
+    @property
+    def rss_regressed(self) -> bool:
+        growth = self.rss_growth
+        return growth is not None and growth > self.rss_threshold
+
+    @property
     def regressed(self) -> bool:
-        return self.slowdown > self.threshold
+        return self.slowdown > self.threshold or self.rss_regressed
 
     def describe(self) -> str:
         verdict = "REGRESSED" if self.regressed else "ok"
-        return (
+        line = (
             f"{self.name:<28} baseline {self.baseline_throughput:>14,.0f}/s  "
             f"current {self.current_throughput:>14,.0f}/s  "
-            f"slowdown {self.slowdown:5.2f}x  [{verdict}]"
+            f"slowdown {self.slowdown:5.2f}x"
         )
+        growth = self.rss_growth
+        if growth is not None:
+            line += f"  rss {growth:5.2f}x"
+        return line + f"  [{verdict}]"
 
 
 @dataclass(frozen=True)
@@ -105,8 +139,14 @@ def compare_reports(
     current: BenchReport,
     baseline: BenchReport,
     threshold: float = DEFAULT_THRESHOLD,
+    rss_threshold: float = DEFAULT_RSS_THRESHOLD,
 ) -> ComparisonResult:
-    """Compare two reports record-by-record (matched by record name)."""
+    """Compare two reports record-by-record (matched by record name).
+
+    Throughput is gated by ``threshold`` on every matched record; peak
+    RSS is additionally gated by ``rss_threshold`` on records where both
+    sides carry ``rss_kb`` (the scale tier).
+    """
     baseline_names = {entry.name for entry in baseline.records}
     current_names = {entry.name for entry in current.records}
     compared = tuple(
@@ -115,6 +155,9 @@ def compare_reports(
             baseline_throughput=base.throughput,
             current_throughput=entry.throughput,
             threshold=threshold,
+            baseline_rss_kb=base.rss_kb,
+            current_rss_kb=entry.rss_kb,
+            rss_threshold=rss_threshold,
         )
         for entry in current.records
         for base in (baseline.record(entry.name),)

@@ -1,6 +1,6 @@
 """The benchmark harness: kernel micro-benchmarks and policy macro-runs.
 
-Two report kinds:
+Three report kinds:
 
 * ``kernel`` — micro-benchmarks of the simulator's hot paths: engine heap
   dispatch (with and without cancellation churn), :class:`Interval` /
@@ -8,7 +8,9 @@ Two report kinds:
 * ``policies`` — end-to-end ``run_simulation`` per scheduling policy on
   the reduced ``quick`` configuration, plus (outside ``--quick`` mode)
   the paper's figure-5 out-of-order workload, whose data-events/second
-  rate is the headline throughput number of this repository.
+  rate is the headline throughput number of this repository;
+* ``scale`` — the 10/100/1000-node scale tier with per-run peak-RSS
+  tracking, in :mod:`repro.perf.scale`.
 
 Workloads are generated with an inline linear-congruential generator —
 not :mod:`numpy` — so the benchmark inputs are bit-stable across runs and

@@ -92,6 +92,11 @@ class BenchRecord:
     unit: str
     repeats: int
     hotspots: Tuple[Hotspot, ...] = ()
+    #: Peak RSS of the run in KiB, when the benchmark measures it (the
+    #: scale tier runs each point in a fresh child process for exactly
+    #: this).  ``None`` means "not measured" and the key is omitted from
+    #: the JSON — an additive, schema-compatible extension.
+    rss_kb: Optional[int] = None
 
     @property
     def throughput(self) -> float:
@@ -109,6 +114,8 @@ class BenchRecord:
             "throughput": self.throughput,
             "repeats": self.repeats,
         }
+        if self.rss_kb is not None:
+            data["rss_kb"] = self.rss_kb
         if self.hotspots:
             data["hotspots"] = [spot.as_dict() for spot in self.hotspots]
         return data
@@ -121,6 +128,9 @@ class BenchRecord:
             work=int(data["work"]),
             unit=str(data["unit"]),
             repeats=int(data["repeats"]),
+            rss_kb=(
+                int(data["rss_kb"]) if data.get("rss_kb") is not None else None
+            ),
             hotspots=tuple(
                 Hotspot.from_dict(spot) for spot in data.get("hotspots", ())
             ),
@@ -213,14 +223,15 @@ def render_report(report: BenchReport) -> str:
         ),
     ]
     for entry in report.records:
-        lines.append(
-            _SUMMARY_ROW.format(
-                name=entry.name,
-                wall=f"{entry.wall_seconds:.4f}",
-                throughput=f"{entry.throughput:,.0f}",
-                unit=entry.unit + "/s",
-            )
+        row = _SUMMARY_ROW.format(
+            name=entry.name,
+            wall=f"{entry.wall_seconds:.4f}",
+            throughput=f"{entry.throughput:,.0f}",
+            unit=entry.unit + "/s",
         )
+        if entry.rss_kb is not None:
+            row += f"  rss {entry.rss_kb // 1024} MiB"
+        lines.append(row)
         for spot in entry.hotspots:
             lines.append(
                 f"    {spot.total_seconds:8.4f}s  {spot.calls:>9} calls  "

@@ -28,7 +28,12 @@ PathLike = Union[str, Path]
 #: Version 5 added the control-plane reliability counters (retransmits,
 #: duplicates_dropped, timeouts, dead_letters, failovers) inside
 #: ``sched``, all 0 on a perfect network.
-SCHEMA_VERSION = 5
+#: Version 6 added the streaming-metrics fields: ``measured.exact``
+#: (False once the run crossed the exact cap and percentiles come from
+#: P² sketches), ``measured.std_waiting`` and the stretch statistics
+#: (``mean_stretch``/``p95_stretch``/``max_stretch``), plus the
+#: top-level ``records_dropped`` retention counter.
+SCHEMA_VERSION = 6
 
 #: Keys every version-2 summary must carry.
 _REQUIRED_SUMMARY_KEYS = (
@@ -116,10 +121,15 @@ def result_summary_dict(result: SimulationResult) -> dict:
             "median_waiting": result.measured.median_waiting,
             "p95_waiting": result.measured.p95_waiting,
             "max_waiting": result.measured.max_waiting,
+            "std_waiting": result.measured.std_waiting,
             "mean_waiting_excl_delay": result.measured.mean_waiting_excl_delay,
             "mean_processing": result.measured.mean_processing,
             "mean_sojourn": result.measured.mean_sojourn,
+            "mean_stretch": result.measured.mean_stretch,
+            "p95_stretch": result.measured.p95_stretch,
+            "max_stretch": result.measured.max_stretch,
             "throughput_per_hour": result.measured.throughput_per_hour,
+            "exact": result.measured.exact,
         },
         "overloaded": result.overload.overloaded,
         "backlog_slope_per_hour": result.overload.backlog_slope_per_hour,
@@ -129,6 +139,7 @@ def result_summary_dict(result: SimulationResult) -> dict:
         "tertiary_redundancy": result.tertiary_redundancy,
         "events_by_source": dict(result.events_by_source),
         "engine_events": result.engine_events,
+        "records_dropped": result.records_dropped,
         "wall_seconds": result.wall_seconds,
         "faults": result.faults.as_dict() if result.faults is not None else None,
         "sched": result.sched.as_dict() if result.sched is not None else None,
@@ -155,6 +166,10 @@ def load_result_json(path: PathLike) -> dict:
     if not isinstance(summary, dict):
         raise ValueError(f"{path}: expected a JSON object")
     version = summary.setdefault("schema_version", 1)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ValueError(
+            f"{path}: schema_version must be an integer, got {version!r}"
+        )
     if version > SCHEMA_VERSION:
         raise ValueError(
             f"{path}: schema_version {version} is newer than the supported "
@@ -165,8 +180,11 @@ def load_result_json(path: PathLike) -> dict:
     summary.setdefault("faults", None)  # pre-v3 files: no fault injection
     summary.setdefault("sched", None)  # pre-v4 files: no control accounting
     # Pre-v5 files: the ``sched`` object lacks the reliability counters;
-    # SchedulerStats.from_dict defaults them to 0 (perfect network), so
-    # v4 summaries round-trip without a rewrite here.
+    # SchedulerStats.from_dict defaults them to 0 (perfect network).
+    # Pre-v6 files: no streaming-metrics keys — every retained statistic
+    # in those files was exact, so readers may treat ``measured.exact``
+    # as True and ``records_dropped`` as 0 when absent.
+    summary.setdefault("records_dropped", 0)
     missing = [key for key in _REQUIRED_SUMMARY_KEYS if key not in summary]
     if missing:
         raise ValueError(f"{path}: summary is missing keys {missing}")

@@ -16,9 +16,11 @@ the :class:`~repro.exec.SpecError` that felled it).
   paper's figure format, with overloaded points cut off by default;
 * :meth:`SweepResult.max_sustained_load` — highest steady load per label;
 * :meth:`SweepResult.by_label` / :meth:`SweepResult.to_json` — grouping
-  and machine-readable export (summary-JSON v5 conventions:
-  ``schema_version``, per-point ``seed``, fault summary and control-plane
-  ``sched`` accounting including the reliability counters).
+  and machine-readable export (summary-JSON v6 conventions:
+  ``schema_version``, per-point ``seed``, fault summary, control-plane
+  ``sched`` accounting including the reliability counters, and the
+  streaming-metrics fields — ``measured.exact``, stretch statistics,
+  ``records_dropped``).
 """
 
 from __future__ import annotations
@@ -48,8 +50,9 @@ if TYPE_CHECKING:  # pragma: no cover - the executor imports us back lazily
 #: Sweep-export schema version; tracks the summary-JSON conventions
 #: (v3 added ``schema_version``, ``seed`` and the ``faults`` object;
 #: v4 added the ``sched`` control-plane accounting object; v5 added the
-#: reliability counters inside ``sched``).
-SWEEP_SCHEMA_VERSION = 5
+#: reliability counters inside ``sched``; v6 added the streaming-metrics
+#: fields — ``measured.exact``, stretch statistics, ``records_dropped``).
+SWEEP_SCHEMA_VERSION = 6
 
 #: One slot of a sweep: the result, or the structured failure.
 SpecOutcome = Union[SimulationResult, SpecError]

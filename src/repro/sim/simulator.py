@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
@@ -33,7 +33,13 @@ from ..sched.stats import SchedulerStats
 from ..workload.generator import WorkloadGenerator
 from ..workload.jobs import Job, JobRequest, Subjob
 from .config import SimulationConfig
-from .metrics import FaultSummary, JobRecord, MetricsCollector, PerformanceSummary
+from .metrics import (
+    DEFAULT_RECORD_CAP,
+    FaultSummary,
+    JobRecord,
+    MetricsCollector,
+    PerformanceSummary,
+)
 from .overload import OverloadVerdict, analyse_backlog
 from .sanitizer import InvariantChecker
 
@@ -46,6 +52,9 @@ class SimulationResult:
     policy_name: str
     policy_params: Dict[str, object]
     policy_stats: Dict[str, float]
+    #: Per-job records — bounded at ``DEFAULT_RECORD_CAP`` unless the run
+    #: opted into full retention (``retain_records`` / ``--retain-records``);
+    #: ``records_dropped`` counts what the cap discarded.
     records: List[JobRecord]
     measured: PerformanceSummary
     overload: OverloadVerdict
@@ -63,6 +72,9 @@ class SimulationResult:
     #: Control-plane accounting — measured for decentral policies, a
     #: message-count estimate synthesized for the central ones.
     sched: Optional[SchedulerStats] = None
+    #: Per-job records dropped by the retention cap (0 on small runs and
+    #: whenever ``retain_records`` was set).
+    records_dropped: int = 0
 
     # -- convenience accessors used by the figure harness ------------------------
 
@@ -115,6 +127,7 @@ class Simulation:
         trace: Optional[Sequence[JobRequest]] = None,
         sink: Optional[TraceSink] = None,
         check_invariants: bool = False,
+        retain_records: bool = False,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -153,9 +166,25 @@ class Simulation:
         if self.checker is not None:
             for node in self.cluster:
                 node.checker = self.checker
-        self.metrics = MetricsCollector(config.cost_model().uncached_event_time)
+        self.metrics = MetricsCollector(
+            config.cost_model().uncached_event_time,
+            warmup_time=config.warmup_time,
+            record_cap=None if retain_records else DEFAULT_RECORD_CAP,
+        )
+        #: Jobs currently *in the system* (arrived, not yet completed).
+        #: Completed jobs are evicted immediately unless the run opted
+        #: into full retention — keeping them would make a million-job
+        #: run O(jobs) in memory for no reader: the sanitizer's deep
+        #: check skips done jobs and the metrics path snapshots
+        #: everything it needs into its own bounded state.  With
+        #: ``retain_records=True`` the dict doubles as a whole-run job
+        #: archive (the white-box inspection contract tests rely on).
         self.jobs: Dict[int, Job] = {}
+        self._retain_jobs = retain_records
         self._trace = list(trace) if trace is not None else None
+        #: Pending generated arrivals (the chained pump); ``None`` on
+        #: trace-driven runs and once the stream is exhausted.
+        self._arrivals: Optional[Iterator[JobRequest]] = None
         self._primed = False
 
         self.cluster.set_completion_callback(self._on_subjob_complete)
@@ -202,9 +231,15 @@ class Simulation:
 
     # -- wiring ---------------------------------------------------------------
 
-    def _make_workload(self) -> List[JobRequest]:
+    def _make_workload(self) -> Iterator[JobRequest]:
+        """The run's arrival stream, lazily (never the whole list).
+
+        Generated workloads stay a generator all the way into the
+        chained arrival pump, so a million-job run never materialises a
+        million :class:`JobRequest` objects.
+        """
         if self._trace is not None:
-            return [r for r in self._trace if r.arrival_time < self.config.duration]
+            return (r for r in self._trace if r.arrival_time < self.config.duration)
         generator = WorkloadGenerator(
             dataspace=self.config.dataspace(),
             arrival_rate_per_hour=self.config.arrival_rate_per_hour,
@@ -212,9 +247,34 @@ class Simulation:
             start_distribution=self.config.start_distribution(),
             streams=self.streams,
         )
-        return generator.generate_list(self.config.duration)
+        return generator.generate(self.config.duration)
+
+    def _pump_next_arrival(self) -> None:
+        """Schedule the next pending arrival (chained O(1) calendar).
+
+        Arrival times are non-decreasing, so keeping exactly one arrival
+        in the calendar — each firing schedules its successor — yields
+        the same dispatch sequence as pre-pushing the whole workload
+        (ARRIVAL is its own priority class and successive arrivals keep
+        monotone sequence numbers) while the calendar stays O(pending
+        completions) instead of O(jobs).
+        """
+        assert self._arrivals is not None
+        request = next(self._arrivals, None)
+        if request is None:
+            self._arrivals = None
+            return
+        self.engine.call_at(
+            request.arrival_time,
+            self._on_arrival,
+            request,
+            priority=EventPriority.ARRIVAL,
+            label=f"arrival:{request.job_id}",
+        )
 
     def _on_arrival(self, request: JobRequest) -> None:
+        if self._arrivals is not None:
+            self._pump_next_arrival()
         job = Job(request)
         self.jobs[job.job_id] = job
         self.metrics.on_arrival(job)
@@ -234,6 +294,12 @@ class Simulation:
         completed = job.maybe_complete(self.engine.now)
         if completed:
             self.metrics.on_completion(job)
+            if not self._retain_jobs:
+                # Release the job (and transitively its subjobs/request)
+                # the moment it leaves the system; in-flight handlers
+                # below hold their own references for as long as they
+                # need them.
+                self.jobs.pop(job.job_id, None)
             if self.obs.enabled:
                 self.obs.emit(
                     self.engine.now,
@@ -296,18 +362,27 @@ class Simulation:
 
         Called automatically by :meth:`run`; call it directly when driving
         the engine manually (e.g. stepping a policy in tests).
+
+        Explicit traces (possibly unsorted) are bulk-loaded through the
+        engine's :meth:`~repro.core.engine.Engine.call_at_batch` fast
+        path; generated workloads go through the chained arrival pump so
+        the calendar holds one pending arrival at a time.  Both dispatch
+        bit-identically to the historical push-everything loop.
         """
         if self._primed:
             return
         self._primed = True
-        for request in self._make_workload():
-            self.engine.call_at(
-                request.arrival_time,
-                self._on_arrival,
-                request,
+        if self._trace is not None:
+            self.engine.call_at_batch(
+                (
+                    (r.arrival_time, self._on_arrival, (r,), f"arrival:{r.job_id}")
+                    for r in self._make_workload()
+                ),
                 priority=EventPriority.ARRIVAL,
-                label=f"arrival:{request.job_id}",
             )
+        else:
+            self._arrivals = self._make_workload()
+            self._pump_next_arrival()
         if self.injector is not None:
             self.injector.prime()
         self.engine.call_at(0.0, self._probe, priority=EventPriority.PROBE)
@@ -332,11 +407,11 @@ class Simulation:
 
     def _build_result(self, wall_seconds: float) -> SimulationResult:
         config = self.config
-        measured_records = self.metrics.measured_records(config.warmup_time)
         measure_interval = config.duration - config.warmup_time
-        summary = PerformanceSummary.from_records(
-            measured_records, measure_interval=measure_interval
-        )
+        # Streaming aggregation: bit-identical to the historical
+        # ``PerformanceSummary.from_records(measured_records(...))`` path
+        # while the run is under the exact cap, sketched beyond it.
+        summary = self.metrics.summary(measure_interval=measure_interval)
         verdict = analyse_backlog(
             self.metrics.backlog,
             warmup_time=config.warmup_time,
@@ -377,9 +452,7 @@ class Simulation:
         if self.injector is not None:
             self.injector.finalize()
             fault_summary = self.injector.summary(
-                degraded_makespan=max(
-                    (r.completion for r in self.metrics.records), default=0.0
-                )
+                degraded_makespan=self.metrics.max_completion
             )
         return SimulationResult(
             config=config,
@@ -400,6 +473,7 @@ class Simulation:
             wall_seconds=wall_seconds,
             faults=fault_summary,
             sched=sched_stats,
+            records_dropped=self.metrics.records_dropped,
         )
 
 
@@ -409,6 +483,7 @@ def run_simulation(
     trace: Optional[Sequence[JobRequest]] = None,
     sink: Optional[TraceSink] = None,
     check_invariants: bool = False,
+    retain_records: bool = False,
     **policy_params: object,
 ) -> SimulationResult:
     """Build and run one simulation; the library's main entry point.
@@ -416,6 +491,11 @@ def run_simulation(
     Pass ``sink`` (e.g. a :class:`repro.obs.TraceRecorder`) to observe the
     run as structured trace events, and ``check_invariants=True`` to run
     the sim-sanitizer (identical metrics, extra runtime checks).
+    ``retain_records=True`` lifts the per-job record cap and keeps
+    completed :class:`~repro.workload.jobs.Job` objects in
+    ``Simulation.jobs`` (O(jobs) memory; needed only when the full
+    per-job state of a >100k-job run matters — aggregates always
+    stream).
 
     >>> from repro.sim.config import quick_config
     >>> result = run_simulation(quick_config(duration=86400.0), "farm")
@@ -429,4 +509,5 @@ def run_simulation(
         trace=trace,
         sink=sink,
         check_invariants=check_invariants,
+        retain_records=retain_records,
     ).run()

@@ -1,0 +1,274 @@
+"""O(1)-memory streaming statistics for million-job runs.
+
+The paper's measurement conventions (mean/median/p95 waiting time, mean
+speedup, …) were computed over a retained list of per-job records — fine
+for the paper's 20 nodes and a few thousand jobs, O(jobs) memory at the
+1000-node scale the ROADMAP targets.  This module provides the streaming
+replacements:
+
+* :class:`StreamingMoments` — count/mean/variance via Welford's online
+  update, plus exact running min/max;
+* :class:`P2Quantile` — the Jain & Chlamtac P² algorithm: a five-marker
+  piecewise-parabolic quantile estimate updated in O(1) per observation;
+* :class:`StreamingTally` — the exact-then-sketch policy used by the
+  metrics collector: observations are buffered exactly (and summarised
+  with the same numpy calls as the historical code, bit-identically)
+  until ``exact_cap`` is reached, after which the buffer is replayed
+  into the streaming estimators, freed, and all further summaries are
+  sketched.
+
+The collapse is observable: :attr:`StreamingTally.exact` is ``False``
+once sketching starts, and the summary JSON (schema v6) carries the flag
+as ``measured.exact``.  Accuracy of the sketched path is characterised in
+``docs/SCALING.md`` and pinned by ``tests/test_metrics_streaming.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from array import array
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Default number of observations a tally keeps exactly before it
+#: collapses into sketches.  At 8 bytes per observation this bounds each
+#: series at ~0.8 MB; every run below the cap (all committed goldens,
+#: every test workload) stays on the historical bit-exact numpy path.
+DEFAULT_EXACT_CAP = 100_000
+
+
+class StreamingMoments:
+    """Welford online mean/variance with exact running min/max."""
+
+    __slots__ = ("n", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def push(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self) -> float:
+        """Population variance (ddof=0, matching ``np.var``'s default)."""
+        if self.n == 0:
+            return math.nan
+        return self._m2 / self.n
+
+    @property
+    def std(self) -> float:
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else math.nan
+
+
+class P2Quantile:
+    """P² streaming quantile estimator (Jain & Chlamtac, CACM 1985).
+
+    Five markers track the running minimum, the p/2, p and (1+p)/2
+    quantiles and the maximum; on every observation the three interior
+    markers are nudged toward their desired positions with a piecewise-
+    parabolic (hence P²) height adjustment.  O(1) memory and time per
+    observation; relative error on the heavy-tailed waiting/stretch
+    distributions here is a few percent (see ``docs/SCALING.md``).
+    """
+
+    __slots__ = ("p", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._rates = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    @property
+    def n(self) -> int:
+        count = len(self._heights)
+        return count if count < 5 else int(self._positions[4])
+
+    def push(self, value: float) -> None:
+        heights = self._heights
+        if len(heights) < 5:
+            bisect.insort(heights, value)
+            return
+        positions = self._positions
+        # Locate the cell, stretching the extreme markers if needed.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and heights[cell + 1] <= value:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        desired = self._desired
+        for index in range(5):
+            desired[index] += self._rates[index]
+        # Nudge the interior markers toward their desired positions.
+        for index in (1, 2, 3):
+            gap = desired[index] - positions[index]
+            right = positions[index + 1] - positions[index]
+            left = positions[index - 1] - positions[index]
+            if (gap >= 1.0 and right > 1.0) or (gap <= -1.0 and left < -1.0):
+                step = 1.0 if gap >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        span = positions[index + 1] - positions[index - 1]
+        up = (positions[index] - positions[index - 1] + step) * (
+            heights[index + 1] - heights[index]
+        ) / (positions[index + 1] - positions[index])
+        down = (positions[index + 1] - positions[index] - step) * (
+            heights[index] - heights[index - 1]
+        ) / (positions[index] - positions[index - 1])
+        return heights[index] + (step / span) * (up + down)
+
+    def _linear(self, index: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        neighbour = index + int(step)
+        return heights[index] + step * (heights[neighbour] - heights[index]) / (
+            positions[neighbour] - positions[index]
+        )
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (NaN before any observation)."""
+        heights = self._heights
+        if not heights:
+            return math.nan
+        if len(heights) < 5:
+            return float(np.percentile(heights, self.p * 100.0))
+        return heights[2]
+
+
+class StreamingTally:
+    """One measured series: exact under ``exact_cap``, sketched beyond.
+
+    While the observation count stays at or below the cap the tally is a
+    plain append-only buffer and every summary statistic is computed with
+    the same numpy calls as the historical record-based code — so small
+    runs (every golden, every test) are bit-identical.  The first
+    observation past the cap replays the buffer, in arrival order, into
+    :class:`StreamingMoments` plus one :class:`P2Quantile` per registered
+    percentile, frees the buffer, and flips :attr:`exact`.
+    """
+
+    __slots__ = ("exact_cap", "_quantiles", "_buffer", "_moments", "_sketches")
+
+    def __init__(
+        self,
+        quantiles: Tuple[float, ...] = (),
+        exact_cap: int = DEFAULT_EXACT_CAP,
+    ) -> None:
+        if exact_cap < 0:
+            raise ValueError(f"exact_cap must be >= 0, got {exact_cap}")
+        self.exact_cap = exact_cap
+        self._quantiles = tuple(quantiles)
+        self._buffer: array = array("d")
+        self._moments: StreamingMoments | None = None
+        self._sketches: Dict[float, P2Quantile] = {}
+
+    @property
+    def exact(self) -> bool:
+        """True while every observation is still retained exactly."""
+        return self._moments is None
+
+    @property
+    def n(self) -> int:
+        moments = self._moments
+        return len(self._buffer) if moments is None else moments.n
+
+    def push(self, value: float) -> None:
+        moments = self._moments
+        if moments is None:
+            buffer = self._buffer
+            buffer.append(value)
+            if len(buffer) > self.exact_cap:
+                self._collapse()
+            return
+        moments.push(value)
+        for sketch in self._sketches.values():
+            sketch.push(value)
+
+    def _collapse(self) -> None:
+        moments = StreamingMoments()
+        sketches = {q: P2Quantile(q / 100.0) for q in self._quantiles}
+        for value in self._buffer:
+            moments.push(value)
+            for sketch in sketches.values():
+                sketch.push(value)
+        self._moments = moments
+        self._sketches = sketches
+        self._buffer = array("d")  # freed: the tally is now O(1)
+
+    # -- summaries -------------------------------------------------------------
+
+    def values(self) -> np.ndarray:
+        """The retained observations (empty once sketching started)."""
+        return np.asarray(self._buffer, dtype=float)
+
+    def mean(self) -> float:
+        moments = self._moments
+        if moments is None:
+            buffer = self._buffer
+            return float(np.mean(buffer)) if len(buffer) else math.nan
+        return moments.mean
+
+    def std(self) -> float:
+        moments = self._moments
+        if moments is None:
+            buffer = self._buffer
+            return float(np.std(buffer)) if len(buffer) else math.nan
+        return moments.std
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile — exact, or the registered P² sketch."""
+        moments = self._moments
+        if moments is None:
+            buffer = self._buffer
+            return float(np.percentile(buffer, q)) if len(buffer) else math.nan
+        if q not in self._sketches:
+            raise KeyError(
+                f"percentile {q} was not registered before the tally "
+                f"collapsed to sketches (registered: {self._quantiles})"
+            )
+        return self._sketches[q].value
+
+    def max(self) -> float:
+        moments = self._moments
+        if moments is None:
+            buffer = self._buffer
+            return float(np.max(buffer)) if len(buffer) else math.nan
+        return moments.max if moments.n else math.nan
+
+    def min(self) -> float:
+        moments = self._moments
+        if moments is None:
+            buffer = self._buffer
+            return float(np.min(buffer)) if len(buffer) else math.nan
+        return moments.min if moments.n else math.nan

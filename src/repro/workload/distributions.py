@@ -17,7 +17,7 @@ import numpy as np
 
 from ..core.errors import ConfigurationError
 from ..data.dataspace import DataSpace
-from ..data.intervals import Interval, IntervalSet, complement
+from ..data.intervals import Interval, IntervalSet, PositionIndex, complement
 
 
 class ErlangJobSize:
@@ -132,18 +132,30 @@ class HotspotStartDistribution:
             raise ConfigurationError("hot_weight > 0 but no hot region given")
         if hot_weight < 1 and self.cold_set.measure() == 0:
             raise ConfigurationError("hot_weight < 1 but regions cover the space")
+        # Offset→position lookup, snapshotted once: both sets are fixed
+        # after construction, and the generator draws one position per
+        # job — O(log intervals) beats the linear interval scan on the
+        # million-job runs the scale tier exercises.
+        self._hot_index = PositionIndex(hot)
+        self._cold_index = PositionIndex(self.cold_set)
 
     @property
     def hot_fraction_of_space(self) -> float:
         return self.hot_set.measure() / self.dataspace.total_events
 
     def sample_position(self, rng: np.random.Generator) -> int:
-        """Draw a raw start position (ignoring the job-length clamp)."""
+        """Draw a raw start position (ignoring the job-length clamp).
+
+        The draws (one uniform for the hot/cold branch, one integer
+        offset) are identical to the historical linear-scan version —
+        only the offset→position mapping changed representation.
+        """
         if rng.random() < self.hot_weight:
-            pool = self.hot_set
+            index = self._hot_index
         else:
-            pool = self.cold_set
-        return _uniform_in_set(rng, pool)
+            index = self._cold_index
+        offset = int(rng.integers(0, index.measure))
+        return index.position_at(offset)
 
     def sample_start(self, rng: np.random.Generator, n_events: int) -> int:
         """Draw a start so the segment ``[start, start+n)`` fits."""
@@ -154,16 +166,6 @@ class HotspotStartDistribution:
             )
         position = self.sample_position(rng)
         return min(position, total - n_events)
-
-
-def _uniform_in_set(rng: np.random.Generator, pool: IntervalSet) -> int:
-    """A uniformly random point of a non-empty interval set."""
-    offset = int(rng.integers(0, pool.measure()))
-    for interval in pool:
-        if offset < interval.length:
-            return interval.start + offset
-        offset -= interval.length
-    raise AssertionError("offset exceeded pool measure")
 
 
 def uniform_start_distribution(dataspace: DataSpace) -> HotspotStartDistribution:

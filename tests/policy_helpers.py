@@ -54,8 +54,13 @@ def run_policy(
     **policy_params,
 ) -> SimulationResult:
     config = config or micro_config()
+    # retain_records keeps completed jobs in ``sim.jobs`` — the traces
+    # here are tiny and the tests assert on whole-run job state.
     return Simulation(
-        config, create_policy(policy_name, **policy_params), trace=requests
+        config,
+        create_policy(policy_name, **policy_params),
+        trace=requests,
+        retain_records=True,
     ).run()
 
 
@@ -68,7 +73,10 @@ def build_sim(
     """A Simulation you can step manually (the policy stays accessible)."""
     config = config or micro_config()
     return Simulation(
-        config, create_policy(policy_name, **policy_params), trace=requests
+        config,
+        create_policy(policy_name, **policy_params),
+        trace=requests,
+        retain_records=True,
     )
 
 

@@ -20,7 +20,9 @@ import repro.data.intervals
 import repro.perf.baseline
 import repro.perf.bench
 import repro.perf.report
+import repro.perf.scale
 import repro.sim.simulator
+import repro.sim.streaming
 
 MODULES = [
     repro.core.units,
@@ -34,9 +36,11 @@ MODULES = [
     repro.analysis.queueing,
     repro.analysis.fairness,
     repro.sim.simulator,
+    repro.sim.streaming,
     repro.perf.report,
     repro.perf.baseline,
     repro.perf.bench,
+    repro.perf.scale,
 ]
 
 

@@ -1,0 +1,263 @@
+"""Streaming metrics: bit-exactness under the cap, sketch accuracy beyond.
+
+Pins the contract documented in docs/SCALING.md: every aggregate a small
+run reports is bit-identical to the historical record-based numpy code,
+and once a series passes its ``exact_cap`` the collector degrades to
+O(1) Welford moments plus P² quantile sketches whose relative error on
+the heavy-tailed distributions we measure stays within a few percent.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.sim.config import quick_config
+from repro.sim.export import result_summary_dict
+from repro.sim.metrics import MetricsCollector, PerformanceSummary
+from repro.sim.simulator import run_simulation
+from repro.sim.streaming import (
+    DEFAULT_EXACT_CAP,
+    P2Quantile,
+    StreamingMoments,
+    StreamingTally,
+)
+
+
+class TestStreamingMoments:
+    def test_matches_numpy_on_heavy_tailed_data(self):
+        rng = np.random.default_rng(11)
+        values = rng.lognormal(mean=2.0, sigma=1.5, size=10_000)
+        moments = StreamingMoments()
+        for value in values:
+            moments.push(float(value))
+        assert moments.n == len(values)
+        assert moments.mean == pytest.approx(float(np.mean(values)), rel=1e-12)
+        assert moments.std == pytest.approx(float(np.std(values)), rel=1e-9)
+        # Extremes are tracked exactly, not estimated.
+        assert moments.min == float(np.min(values))
+        assert moments.max == float(np.max(values))
+
+    def test_empty_moments_are_nan(self):
+        moments = StreamingMoments()
+        assert math.isnan(moments.variance)
+        assert math.isnan(moments.std)
+
+
+class TestP2Quantile:
+    def test_fewer_than_five_observations_are_exact(self):
+        sketch = P2Quantile(0.5)
+        for value in (7.0, 1.0, 5.0, 3.0):
+            sketch.push(value)
+        assert sketch.value == float(np.percentile([7.0, 1.0, 5.0, 3.0], 50.0))
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.5])
+    def test_quantile_outside_open_unit_interval_rejected(self, p):
+        with pytest.raises(ValueError):
+            P2Quantile(p)
+
+    @pytest.mark.parametrize("p", [0.5, 0.95])
+    def test_relative_error_bounded_on_lognormal(self, p):
+        # The sketch-accuracy contract from docs/SCALING.md: a few
+        # percent on the heavy-tailed waiting/stretch distributions.
+        rng = np.random.default_rng(23)
+        values = rng.lognormal(mean=0.0, sigma=1.0, size=50_000)
+        sketch = P2Quantile(p)
+        for value in values:
+            sketch.push(float(value))
+        truth = float(np.percentile(values, p * 100.0))
+        assert sketch.value == pytest.approx(truth, rel=0.05)
+
+    def test_relative_error_bounded_on_exponential(self):
+        rng = np.random.default_rng(29)
+        values = rng.exponential(scale=3600.0, size=50_000)
+        sketch = P2Quantile(0.95)
+        for value in values:
+            sketch.push(float(value))
+        truth = float(np.percentile(values, 95.0))
+        assert sketch.value == pytest.approx(truth, rel=0.05)
+
+
+class TestStreamingTally:
+    def test_exact_path_is_bit_identical_to_numpy(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(scale=1000.0, size=500)
+        tally = StreamingTally(quantiles=(50.0, 95.0))
+        for value in values:
+            tally.push(float(value))
+        assert tally.exact
+        # Bit-equality, not approx: the exact path must run the same
+        # numpy calls the historical record-based code ran.
+        assert tally.mean() == float(np.mean(values))
+        assert tally.std() == float(np.std(values))
+        assert tally.percentile(50.0) == float(np.percentile(values, 50.0))
+        assert tally.percentile(95.0) == float(np.percentile(values, 95.0))
+        # Any percentile works while exact — registration only matters
+        # for the sketched regime.
+        assert tally.percentile(12.5) == float(np.percentile(values, 12.5))
+        assert tally.min() == float(np.min(values))
+        assert tally.max() == float(np.max(values))
+
+    def test_collapse_flips_exact_and_frees_the_buffer(self):
+        tally = StreamingTally(quantiles=(95.0,), exact_cap=100)
+        for i in range(100):
+            tally.push(float(i))
+        assert tally.exact
+        assert len(tally.values()) == 100
+        tally.push(100.0)
+        assert not tally.exact
+        assert len(tally.values()) == 0  # buffer freed: O(1) from here on
+        assert tally.n == 101
+
+    def test_statistics_continuous_across_collapse(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=1.0, sigma=1.2, size=5_000)
+        tally = StreamingTally(quantiles=(95.0,), exact_cap=1_000)
+        for value in values:
+            tally.push(float(value))
+        assert not tally.exact
+        assert tally.n == len(values)
+        assert tally.mean() == pytest.approx(float(np.mean(values)), rel=1e-12)
+        assert tally.std() == pytest.approx(float(np.std(values)), rel=1e-6)
+        assert tally.percentile(95.0) == pytest.approx(
+            float(np.percentile(values, 95.0)), rel=0.05
+        )
+        assert tally.min() == float(np.min(values))
+        assert tally.max() == float(np.max(values))
+
+    def test_unregistered_percentile_raises_once_sketched(self):
+        tally = StreamingTally(quantiles=(95.0,), exact_cap=2)
+        for value in (1.0, 2.0, 3.0):
+            tally.push(value)
+        assert not tally.exact
+        with pytest.raises(KeyError, match="not registered"):
+            tally.percentile(50.0)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="exact_cap"):
+            StreamingTally(exact_cap=-1)
+
+    def test_zero_cap_streams_from_the_first_observation(self):
+        tally = StreamingTally(quantiles=(50.0,), exact_cap=0)
+        tally.push(42.0)
+        assert not tally.exact
+        assert tally.n == 1
+        assert tally.mean() == 42.0
+
+
+def _fake_job(job_id, arrival, start, end, n_events=100):
+    """The attribute subset MetricsCollector.on_completion reads."""
+    return SimpleNamespace(
+        job_id=job_id,
+        arrival_time=arrival,
+        schedule_time=arrival,
+        first_start=start,
+        completion=end,
+        n_events=n_events,
+    )
+
+
+class TestCollectorBounds:
+    def _complete(self, collector, n):
+        for i in range(n):
+            arrival = 100.0 * i
+            collector.on_arrival(None)
+            collector.on_completion(
+                _fake_job(i, arrival, arrival + 5.0 * (i % 7), arrival + 400.0 + i)
+            )
+
+    def test_record_cap_drops_and_counts(self):
+        collector = MetricsCollector(uncached_event_time=0.8, record_cap=3)
+        self._complete(collector, 10)
+        assert len(collector.records) == 3
+        assert collector.records_dropped == 7
+        # Aggregates keep streaming past the record cap.
+        assert collector.tallies["waiting"].n == 10
+        summary = collector.summary()
+        assert summary.n_jobs == 10
+        assert summary.exact
+
+    def test_summary_bit_identical_to_from_records_under_cap(self):
+        collector = MetricsCollector(uncached_event_time=0.8)
+        self._complete(collector, 50)
+        streamed = collector.summary(measure_interval=5_000.0)
+        historical = PerformanceSummary.from_records(
+            collector.records, measure_interval=5_000.0
+        )
+        for field in (
+            "n_jobs",
+            "mean_waiting",
+            "median_waiting",
+            "p95_waiting",
+            "max_waiting",
+            "mean_waiting_excl_delay",
+            "mean_processing",
+            "mean_sojourn",
+            "mean_speedup",
+            "median_speedup",
+            "mean_job_events",
+            "throughput_per_hour",
+            "std_waiting",
+            "mean_stretch",
+            "p95_stretch",
+            "max_stretch",
+        ):
+            assert getattr(streamed, field) == getattr(historical, field), field
+        assert np.array_equal(streamed.waiting_times, historical.waiting_times)
+        assert streamed.exact and historical.exact
+
+    def test_summary_streams_past_exact_cap(self):
+        collector = MetricsCollector(uncached_event_time=0.8, exact_cap=8)
+        self._complete(collector, 50)
+        assert not collector.exact
+        summary = collector.summary(measure_interval=5_000.0)
+        historical = PerformanceSummary.from_records(
+            collector.records, measure_interval=5_000.0
+        )
+        assert not summary.exact
+        assert summary.n_jobs == 50
+        assert summary.waiting_times.size == 0  # samples not retained
+        assert summary.mean_waiting == pytest.approx(
+            historical.mean_waiting, rel=1e-9
+        )
+        assert summary.max_waiting == historical.max_waiting
+        assert summary.p95_waiting == pytest.approx(
+            historical.p95_waiting, rel=0.10
+        )
+        assert summary.throughput_per_hour == historical.throughput_per_hour
+
+    def test_warmup_filter_applies_before_the_tallies(self):
+        collector = MetricsCollector(
+            uncached_event_time=0.8, warmup_time=500.0, record_cap=None
+        )
+        self._complete(collector, 10)  # arrivals at 0, 100, ..., 900
+        assert collector.tallies["waiting"].n == 5
+        assert len(collector.records) == 10  # records keep the full run
+
+
+class TestEndToEnd:
+    def test_small_run_summary_is_independent_of_retention(self):
+        config = quick_config(duration=2 * units.DAY, seed=5)
+        kwargs = dict(config=config, policy="farm")
+        bounded = run_simulation(**kwargs)
+        retained = run_simulation(**kwargs, retain_records=True)
+        a = result_summary_dict(bounded)
+        b = result_summary_dict(retained)
+        a.pop("wall_seconds")
+        b.pop("wall_seconds")
+        # Serialise for the comparison so NaN fields compare equal.
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert [r.job_id for r in bounded.records] == [
+            r.job_id for r in retained.records
+        ]
+        assert a["records_dropped"] == 0
+        assert a["measured"]["exact"] is True
+
+    def test_default_exact_cap_is_documented_value(self):
+        # SCALING.md quotes the 100k boundary; keep them in sync.
+        assert DEFAULT_EXACT_CAP == 100_000

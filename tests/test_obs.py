@@ -231,6 +231,36 @@ class TestRecorderCrossCheck:
         # The head of the run survives.
         assert recorder.events[0].kind == kinds.SIM_START
 
+    def test_span_and_slice_caps_degrade_to_counters(self):
+        capped, _ = _traced_run(max_spans=10, max_slices=25)
+        unbounded, _ = _traced_run()
+        assert len(capped.spans) == 10
+        assert len(capped.chunk_slices) == 25
+        # Nothing is lost silently: dropped tallies make up the difference.
+        assert capped.spans_dropped == len(unbounded.spans) - 10
+        assert capped.slices_dropped == len(unbounded.chunk_slices) - 25
+        # The head of the run is what survives (keep-"first" semantics).
+        assert capped.spans == unbounded.spans[:10]
+        assert capped.chunk_slices == unbounded.chunk_slices[:25]
+        summary = capped.summary()
+        assert summary["spans_dropped"] == capped.spans_dropped
+        assert summary["slices_dropped"] == capped.slices_dropped
+        # Counters are derived from the event stream, not the capped
+        # lists, so they are unaffected by retention.
+        assert capped.subjobs_completed == unbounded.subjobs_completed
+
+    def test_default_retention_reports_zero_drops(self):
+        recorder, _ = _traced_run()
+        assert recorder.spans_dropped == 0
+        assert recorder.slices_dropped == 0
+        assert recorder.summary()["spans_recorded"] == len(recorder.spans)
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            TraceRecorder(max_spans=0)
+        with pytest.raises(ValueError, match="max_slices"):
+            TraceRecorder(max_slices=-1)
+
     def test_counter_samples_accumulate(self):
         recorder, _ = _traced_run(sample_interval=3600.0)
         assert len(recorder.samples) > 24  # 3 days, hourly samples

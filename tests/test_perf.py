@@ -30,7 +30,12 @@ from repro.perf import (
     render_report,
     report_filename,
     run_kernel_bench,
+    scale_config,
 )
+
+# Aliased import: pytest collects ``bench_*`` names (the benchmarks/
+# directory convention), so the plain name would be mistaken for a test.
+from repro.perf import bench_scale_point as scale_point
 from repro.sim.config import paper_config, quick_config
 from repro.sim.simulator import run_simulation
 
@@ -114,6 +119,18 @@ class TestSchema:
         assert "engine.dispatch" in text
         assert "cache.lru_ops" in text
 
+    def test_rss_kb_round_trips_and_is_omitted_when_absent(self):
+        with_rss = BenchRecord(
+            name="sim.scale.n10", wall_seconds=1.0, work=1000,
+            unit="events", repeats=1, rss_kb=54_321,
+        )
+        assert "rss_kb" not in _report().records[0].as_dict()
+        assert with_rss.as_dict()["rss_kb"] == 54_321
+        assert BenchRecord.from_dict(with_rss.as_dict()) == with_rss
+        report = BenchReport(kind="scale", records=(with_rss,))
+        assert BenchReport.from_json(report.to_json()) == report
+        assert "rss 53 MiB" in render_report(report)
+
 
 # -- baseline comparison ------------------------------------------------------
 
@@ -166,6 +183,45 @@ class TestBaseline:
         assert result.only_current == ("sim.quick.farm",)
         assert result.only_baseline == ("sim.fig5.out-of-order",)
 
+    def _scale_report(self, wall_seconds: float, rss_kb) -> BenchReport:
+        return BenchReport(
+            kind="scale",
+            records=(
+                BenchRecord(
+                    name="sim.scale.n100", wall_seconds=wall_seconds,
+                    work=1000, unit="events", repeats=1, rss_kb=rss_kb,
+                ),
+            ),
+        )
+
+    def test_rss_growth_beyond_threshold_fails(self):
+        result = compare_reports(
+            self._scale_report(1.0, rss_kb=300_000),
+            self._scale_report(1.0, rss_kb=100_000),
+            rss_threshold=2.0,
+        )
+        assert result.regressed
+        assert result.compared[0].rss_regressed
+        assert result.compared[0].slowdown == pytest.approx(1.0)
+        assert "rss  3.00x" in result.describe()
+
+    def test_rss_growth_within_threshold_passes(self):
+        result = compare_reports(
+            self._scale_report(1.0, rss_kb=150_000),
+            self._scale_report(1.0, rss_kb=100_000),
+            rss_threshold=2.0,
+        )
+        assert not result.regressed
+        assert result.compared[0].rss_growth == pytest.approx(1.5)
+
+    def test_missing_rss_on_either_side_disables_the_gate(self):
+        result = compare_reports(
+            self._scale_report(1.0, rss_kb=900_000),
+            self._scale_report(1.0, rss_kb=None),
+        )
+        assert not result.regressed
+        assert result.compared[0].rss_growth is None
+
     def test_zero_current_throughput_is_infinite_slowdown(self):
         broken = _single("kernel", "a", 0.0)  # wall 0 -> throughput 0
         result = compare_reports(broken, _single("kernel", "a", 1.0))
@@ -183,11 +239,19 @@ class TestBaseline:
 
     def test_committed_baselines_exist_at_repo_root(self):
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        for kind in ("kernel", "policies"):
+        for kind in ("kernel", "policies", "scale"):
             baseline = load_baseline(root, kind)
             assert baseline is not None, f"missing committed BENCH_{kind}.json"
             assert baseline.kind == kind
             assert all(r.throughput > 0 for r in baseline.records)
+
+    def test_committed_scale_baseline_carries_rss(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        baseline = load_baseline(root, "scale")
+        assert baseline is not None
+        names = [r.name for r in baseline.records]
+        assert names == ["sim.scale.n10", "sim.scale.n100", "sim.scale.n1000"]
+        assert all(r.rss_kb is not None and r.rss_kb > 0 for r in baseline.records)
 
 
 # -- harness smoke ------------------------------------------------------------
@@ -211,6 +275,22 @@ class TestHarness:
         for record in report.records:
             assert record.wall_seconds > 0
             assert record.throughput > 0
+
+    def test_scale_point_in_process(self):
+        record = scale_point(3, duration_days=0.1, in_process=True)
+        assert record.name == "sim.scale.n3"
+        assert record.unit == "events"
+        assert record.work > 0
+        assert record.rss_kb is not None and record.rss_kb > 0
+
+    def test_scale_config_scales_load_with_nodes(self):
+        small, large = scale_config(10), scale_config(1000)
+        assert large.n_nodes == 1000
+        assert large.arrival_rate_per_hour == pytest.approx(
+            100 * small.arrival_rate_per_hour
+        )
+        # The tier's seed is dedicated — not the test fixtures' seed 0.
+        assert small.seed == large.seed == 7
 
     def test_profile_call_returns_value_and_hotspots(self):
         value, hotspots = profile_call(lambda: sum(range(10_000)), top_n=5)

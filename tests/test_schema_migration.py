@@ -1,12 +1,15 @@
-"""Summary-JSON schema migration tests (v4 -> v5).
+"""Summary-JSON schema migration tests (v4 -> v5 -> v6).
 
-Version 5 added the control-plane reliability counters inside ``sched``.
-The committed ``tests/goldens/summary_v4.json`` fixture is a real v4
-summary (written by the pre-v5 tool); these tests pin the migration
-contract: v4 files load unchanged with the new counters defaulting to 0,
-files from the future are rejected with a clear error, and the result
-cache's fingerprint namespace rolls over with the schema so stale
-pickles are never served.
+Version 5 added the control-plane reliability counters inside ``sched``;
+version 6 added the streaming-metrics fields (``measured.exact``, the
+stretch statistics, ``std_waiting``, ``records_dropped``).  The
+committed ``tests/goldens/summary_v4.json`` / ``summary_v5.json``
+fixtures are real summaries of their era; these tests pin the migration
+contract: old files load with the newer keys defaulting sensibly (v6
+absences mean "everything was exact, nothing dropped"), files from the
+future — or with a mangled version stamp — are rejected with a clear
+error, and the result cache's fingerprint namespace rolls over with the
+schema so stale pickles are never served.
 """
 
 import json
@@ -27,6 +30,7 @@ from repro.sim.runner import RunSpec
 from repro.sim.simulator import run_simulation
 
 V4_FIXTURE = Path(__file__).parent / "goldens" / "summary_v4.json"
+V5_FIXTURE = Path(__file__).parent / "goldens" / "summary_v5.json"
 
 
 class TestV4RoundTrip:
@@ -38,8 +42,10 @@ class TestV4RoundTrip:
     def test_v4_fixture_loads_unchanged(self):
         raw = json.loads(V4_FIXTURE.read_text())
         loaded = load_result_json(V4_FIXTURE)
-        # The reader leaves v4 payloads alone — no rewriting, no
-        # injected keys; tolerance lives in SchedulerStats.from_dict.
+        # The reader leaves v4 payloads alone apart from the documented
+        # defaults (pre-v6 files never dropped records); tolerance for
+        # the sched counters lives in SchedulerStats.from_dict.
+        assert loaded.pop("records_dropped") == 0
         assert loaded == raw
 
     def test_v4_sched_rebuilds_with_zero_reliability_counters(self):
@@ -56,6 +62,42 @@ class TestV4RoundTrip:
         # Every v4 key survives with its value; the v5 additions are 0.
         for key, value in loaded["sched"].items():
             assert rebuilt[key] == value
+
+
+class TestV5RoundTrip:
+    def test_fixture_is_genuinely_v5(self):
+        raw = json.loads(V5_FIXTURE.read_text())
+        assert raw["schema_version"] == 5
+        assert "exact" not in raw["measured"]
+        assert "mean_stretch" not in raw["measured"]
+        assert "records_dropped" not in raw
+
+    def test_v5_loads_with_v6_defaults(self):
+        loaded = load_result_json(V5_FIXTURE)
+        # v5-era runs never sketched and never dropped records, so the
+        # reader's defaults must say exactly that.
+        assert loaded["records_dropped"] == 0
+        assert loaded["measured"].get("exact", True) is True
+
+    def test_v5_measured_values_survive_unchanged(self):
+        raw = json.loads(V5_FIXTURE.read_text())
+        loaded = load_result_json(V5_FIXTURE)
+        assert loaded["measured"] == raw["measured"]
+        assert loaded["sched"] == raw["sched"]
+
+    def test_v5_round_trips_against_current_writer(self, tmp_path):
+        # The v6 writer on the same seeded run reproduces every v5
+        # measured value bit-for-bit — the streaming refactor only ever
+        # *added* keys on exact runs.
+        old = json.loads(V5_FIXTURE.read_text())
+        result = run_simulation(
+            quick_config(duration=43_200.0, seed=2, n_nodes=3), "farm"
+        )
+        new = result_summary_dict(result)
+        assert new["schema_version"] == 6
+        assert new["measured"]["exact"] is True
+        for key, value in old["measured"].items():
+            assert new["measured"][key] == value, key
 
 
 class TestCurrentSchema:
@@ -95,6 +137,19 @@ class TestFutureVersionRejected:
         path = tmp_path / "junk.json"
         path.write_text("[1, 2, 3]")
         with pytest.raises(ValueError, match="expected a JSON object"):
+            load_result_json(path)
+
+    @pytest.mark.parametrize("stamp", ['"6"', "6.0", "true", "null"])
+    def test_non_integer_version_rejected(self, tmp_path, stamp):
+        # A mangled stamp used to surface as a bare TypeError from the
+        # ``version > SCHEMA_VERSION`` comparison; now it's a clear error.
+        path = tmp_path / "mangled.json"
+        payload = json.loads(V4_FIXTURE.read_text())
+        text = json.dumps(payload).replace(
+            '"schema_version": 4', f'"schema_version": {stamp}'
+        )
+        path.write_text(text)
+        with pytest.raises(ValueError, match="schema_version must be an integer"):
             load_result_json(path)
 
 

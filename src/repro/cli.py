@@ -7,7 +7,7 @@ Subcommands::
     repro limits                        # print the paper's theoretical anchors
     repro run fig3 --scale quick        # regenerate a figure
     repro run-all --scale full -o report.md
-    repro sweep fig3 -o fig3.json       # sweep -> summary-JSON v6
+    repro sweep fig3 -o fig3.json       # sweep -> summary-JSON v7
 
 Sweep-shaped commands (run, run-all, sweep, export, replicate,
 calibrate) share the execution-layer knobs: ``--jobs/-j`` (worker
@@ -195,6 +195,71 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("hierarchical topology (repro.topo)")
+    group.add_argument(
+        "--topology",
+        default=None,
+        metavar="FILE|PRESET",
+        help="run on a hierarchical data grid: a preset name (flat, "
+        "depth2, depth3 — optionally NAME:PLACEMENT, e.g. "
+        "depth3:lru-rack) or a TopologySpec JSON file; default is the "
+        "paper's flat cluster",
+    )
+
+
+def _resolve_topology(value: str, prog: str):
+    """Parse a ``--topology`` value: preset[:placement] or a JSON file.
+
+    Exits with status 2 (argparse convention) on unknown presets, bad
+    placements, unreadable files and invalid specs — all carrying the
+    spec validator's actionable message.
+    """
+    import json
+    import os
+
+    from .core.errors import ConfigurationError
+    from .topo.spec import TOPOLOGY_PRESETS, TopologySpec, topology_preset
+
+    def _die(message: str) -> "SystemExit":
+        print(f"{prog}: --topology: {message}", file=sys.stderr)
+        return SystemExit(2)
+
+    looks_like_file = (
+        os.sep in value or value.endswith(".json") or os.path.exists(value)
+    )
+    if not looks_like_file:
+        name, _, placement = value.partition(":")
+        if name in TOPOLOGY_PRESETS:
+            try:
+                return topology_preset(name, placement or "none")
+            except ConfigurationError as error:
+                raise _die(str(error)) from None
+        raise _die(
+            f"unknown preset {name!r} and no such file; presets: "
+            f"{', '.join(sorted(TOPOLOGY_PRESETS))}"
+        )
+    try:
+        with open(value, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise _die(f"cannot read {value!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise _die(f"{value!r} is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise _die(f"{value!r} must contain a JSON object")
+    try:
+        return TopologySpec.from_dict(payload)
+    except (ConfigurationError, TypeError) as error:
+        raise _die(f"{value!r}: {error}") from None
+
+
+def _topology_from_args(args: argparse.Namespace, prog: str):
+    if getattr(args, "topology", None) is None:
+        return None
+    return _resolve_topology(args.topology, prog)
+
+
 def _net_config_from_args(args: argparse.Namespace) -> Optional[NetFaultConfig]:
     """The control-plane fault model the flags describe (None = perfect)."""
     net = NetFaultConfig(
@@ -267,7 +332,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser(
         "sweep",
         help="run an experiment's raw sweep and emit its summary JSON "
-        "(schema v6; deterministic across --jobs, cache hits and --resume)",
+        "(schema v7; deterministic across --jobs, cache hits and --resume)",
     )
     sweep_parser.add_argument("experiment", help="experiment id (e.g. fig3)")
     _add_scale(sweep_parser)
@@ -323,6 +388,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--dump-json", default=None, help="write the result summary JSON here"
     )
+    _add_topology_arg(sim_parser)
     _add_fault_args(sim_parser)
 
     trace_parser = sub.add_parser(
@@ -373,7 +439,23 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--no-ascii", action="store_true", help="skip the ASCII timeline"
     )
+    _add_topology_arg(trace_parser)
     _add_fault_args(trace_parser)
+
+    topo_parser = sub.add_parser(
+        "topo",
+        help="inspect hierarchical data-grid topologies (repro.topo)",
+    )
+    topo_sub = topo_parser.add_subparsers(dest="topo_command", required=True)
+    topo_show = topo_sub.add_parser(
+        "show",
+        help="print a topology's tier tree, link rates and cache sizes",
+    )
+    topo_show.add_argument(
+        "spec",
+        help="preset name (flat, depth2, depth3 — optionally "
+        "NAME:PLACEMENT, e.g. depth3:lru-rack) or a TopologySpec JSON file",
+    )
 
     exp_parser = sub.add_parser(
         "export", help="run an experiment and write gnuplot .dat/.gp files"
@@ -632,6 +714,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=_fault_config_from_args(args),
         net=_net_config_from_args(args),
+        topology=_topology_from_args(args, "repro simulate"),
     )
     params = {}
     if args.period is not None:
@@ -752,6 +835,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=_fault_config_from_args(args),
         net=_net_config_from_args(args),
+        topology=_topology_from_args(args, "repro trace"),
     )
     params = {}
     if args.period is not None:
@@ -787,6 +871,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"\nchrome trace ({n_entries} entries) written to {trace_path}")
     print("  open it at https://ui.perfetto.dev or chrome://tracing")
     print(f"counter time-series ({n_samples} samples) written to {counters_path}")
+    return 0
+
+
+def _cmd_topo_show(args: argparse.Namespace) -> int:
+    spec = _resolve_topology(args.spec, "repro topo")
+    if spec.is_trivial:
+        note = "trivial (flat cluster; simulated on the stock data path)"
+    else:
+        note = "active (tiered data path engaged)"
+    print(
+        f"depth {spec.depth}, placement {spec.placement!r} "
+        f"(promote_threshold={spec.promote_threshold}), {note}"
+    )
+    rows = []
+    for tier in spec.tiers:
+        level = len(spec.path_to_root(tier.name)) - 1
+        indent = "  " * level
+        if tier.parent is None:
+            uplink = "- (hosts tertiary)"
+        else:
+            streams = (
+                f"{tier.link_capacity_streams} streams"
+                if tier.link_capacity_streams
+                else "uncontended"
+            )
+            uplink = (
+                f"{tier.link_bandwidth / units.MB:.0f} MB/s -> "
+                f"{tier.parent} ({streams})"
+            )
+        cache = (
+            f"{tier.cache_bytes / units.GB:.0f} GB" if tier.cache_bytes else "-"
+        )
+        attach = "nodes" if tier in spec.leaves else "-"
+        rows.append([f"{indent}{tier.name}", cache, uplink, attach])
+    print(
+        format_table(
+            ["tier", "cache", "uplink", "attaches"],
+            rows,
+            title="Tier tree",
+        )
+    )
     return 0
 
 
@@ -1028,6 +1153,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "topo":
+        return _cmd_topo_show(args)
     if args.command == "export":
         return _cmd_export(args)
     if args.command == "replicate":

@@ -22,7 +22,7 @@ Policies differ only in the planner they install:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..data.intervals import Interval, IntervalSet
 from ..data.tertiary import TertiaryStorage
@@ -30,6 +30,7 @@ from ..obs.hooks import kinds
 from .costmodel import DataSource
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..topo.tree import Tier, TopologyView
     from .node import Node
 
 
@@ -41,12 +42,21 @@ class ChunkPlan:
     ``rate_factor`` scales the chunk's per-event time (>= 1.0); planners
     modelling shared-resource contention (e.g. a congested network link)
     set it from the load they observe at plan time.
+
+    On hierarchical topologies (``repro.topo``) the
+    :class:`~repro.topo.planner.TieredPlanner` additionally records the
+    data path: ``via`` holds the tiers whose uplinks the stream occupies
+    while the chunk runs, and ``tier`` names the tier cache serving a
+    :attr:`DataSource.TIER` chunk.  Both stay at their defaults on flat
+    topologies, keeping the plan byte-compatible with the paper's model.
     """
 
     interval: Interval
     source: DataSource
     owner: Optional["Node"] = None
     rate_factor: float = 1.0
+    via: Tuple["Tier", ...] = ()
+    tier: Optional["Tier"] = None
 
 
 class DataAccessPlanner:
@@ -217,6 +227,11 @@ class RemoteReadPlanner(CachingPlanner):
     the data; replicate an extent into the reader's cache on its 3rd
     remote access."""
 
+    #: Tier-locality scoring (repro.topo): installed by the simulator on
+    #: hierarchical runs.  ``None`` (flat clusters) keeps peer selection
+    #: byte-identical to the paper's model — longest prefix, lowest id.
+    topology_view: Optional["TopologyView"] = None
+
     def __init__(
         self,
         tertiary: TertiaryStorage,
@@ -235,15 +250,28 @@ class RemoteReadPlanner(CachingPlanner):
         self._peers = list(nodes)
 
     def _plan_miss(self, node: "Node", miss: Interval) -> ChunkPlan:
+        view = self.topology_view
         best_owner: Optional["Node"] = None
-        best_prefix = Interval(miss.start, miss.start)
+        best_key = (0, 0)
         for peer in self._peers:
             if peer is node:
                 continue
             prefix = peer.cache.cached_prefix(miss)
-            if prefix.length > best_prefix.length:
-                best_prefix = prefix
+            if prefix.empty:
+                continue
+            # Longest prefix first; among equals, the tier-closest peer
+            # (distance 0 everywhere on flat clusters, where this reduces
+            # to the historical lowest-id rule).
+            distance = (
+                view.distance(node.node_id, peer.node_id)
+                if view is not None
+                else 0
+            )
+            key = (prefix.length, -distance)
+            if key > best_key:
+                best_key = key
                 best_owner = peer
+                best_prefix = prefix
         if best_owner is None:
             return ChunkPlan(miss, DataSource.TERTIARY)
         return ChunkPlan(best_prefix, DataSource.REMOTE, owner=best_owner)

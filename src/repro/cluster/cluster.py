@@ -4,6 +4,17 @@ Mirrors the paper's Fig. 1 architecture — N identical single-CPU nodes,
 each with a local disk cache, all connected to a shared tertiary storage
 system.  The master node itself is not simulated (its scheduling decisions
 are instantaneous), matching the paper's simulator.
+
+The flat cluster is the degenerate depth-1 case of the hierarchical
+topology layer (``repro.topo``): when a run carries no
+:class:`~repro.topo.spec.TopologySpec` — or a trivial one (a single
+root tier, no tier cache) — the simulator never builds a
+:class:`~repro.topo.tree.Topology` and this module's data path runs
+exactly the historical code, which is what makes the depth-1
+bit-identity guarantee exact rather than approximate.  Deeper specs
+arrange these same nodes under rack/site tiers whose caches and
+contended uplinks are consulted by the tiered access planner; the
+``Cluster`` object itself is unchanged either way.
 """
 
 from __future__ import annotations

@@ -32,6 +32,7 @@ class DataSource(enum.Enum):
     CACHE = "cache"  # local disk cache hit
     TERTIARY = "tertiary"  # streamed from mass storage
     REMOTE = "remote"  # read from another node's disk cache
+    TIER = "tier"  # served by an interior tier cache (repro.topo)
 
 
 @dataclass(frozen=True)
@@ -106,6 +107,11 @@ class CostModel:
         if source is DataSource.REMOTE:
             # Remote disk read: bound by the owner's disk, plus wire time.
             return self.disk_time + self.network_time
+        if source is DataSource.TIER:
+            # Tier caches are disk pools: the read is disk-bound at the
+            # serving tier; traversed-link times ride the chunk's
+            # rate_factor (set by repro.topo.planner from the path).
+            return self.disk_time
         raise ConfigurationError(f"unknown source {source!r}")
 
     def event_time(self, source: DataSource, speed_factor: float = 1.0) -> float:

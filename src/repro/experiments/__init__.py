@@ -15,6 +15,7 @@ from . import complexity_exp  # noqa: F401  (registers complexity)
 from . import faults_exp  # noqa: F401  (registers faults)
 from . import crossover_exp  # noqa: F401  (registers crossover)
 from . import degradation_exp  # noqa: F401  (registers degradation)
+from . import tiering_exp  # noqa: F401  (registers tiering)
 from .calibration import (
     DEFAULT_CANDIDATE_DELAYS,
     calibrate_delay_table,

@@ -58,6 +58,13 @@ class kinds:
     TAPE_READ = "tape.read"
     REMOTE_READ = "remote.read"
 
+    # -- hierarchical topology (repro.topo) -----------------------------------
+    TIER_HIT = "tier.hit"  # chunk served from an interior tier cache
+    TIER_MISS = "tier.miss"  # a tier cache was consulted and had nothing
+    TIER_EVICT = "tier.evict"  # tier cache evicted LRU replicas
+    TIER_REPLICATE = "tier.replicate"  # placement promoted an extent
+    LINK_SATURATED = "tier.link_saturated"  # uplink oversubscribed at plan
+
     # -- node state ----------------------------------------------------------
     NODE_BUSY = "node.busy"
     NODE_IDLE = "node.idle"

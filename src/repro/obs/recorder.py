@@ -155,6 +155,11 @@ class TraceRecorder(TraceSink):
         self.tape_events = 0
         self.tape_requests = 0
         self.remote_events = 0
+        self.tier_hit_events = 0
+        self.tier_miss_events = 0
+        self.tier_evicted_events = 0
+        self.tier_replicated_events = 0
+        self.link_saturations = 0
         self.periods = 0
         self.meta_subjobs = 0
         self.engine_dispatches = 0
@@ -233,6 +238,16 @@ class TraceRecorder(TraceSink):
             self.tape_requests += 1
         elif kind == kinds.REMOTE_READ:
             self.remote_events += event.data.get("events", 0)
+        elif kind == kinds.TIER_HIT:
+            self.tier_hit_events += event.data.get("events", 0)
+        elif kind == kinds.TIER_MISS:
+            self.tier_miss_events += event.data.get("events", 0)
+        elif kind == kinds.TIER_EVICT:
+            self.tier_evicted_events += event.data.get("events", 0)
+        elif kind == kinds.TIER_REPLICATE:
+            self.tier_replicated_events += event.data.get("events", 0)
+        elif kind == kinds.LINK_SATURATED:
+            self.link_saturations += 1
         elif kind in (kinds.SUBJOB_START, kinds.SUBJOB_RESUME):
             if kind == kinds.SUBJOB_START:
                 self.subjobs_started += 1
@@ -382,6 +397,11 @@ class TraceRecorder(TraceSink):
             "tape_events": self.tape_events,
             "tape_requests": self.tape_requests,
             "remote_events": self.remote_events,
+            "tier_hit_events": self.tier_hit_events,
+            "tier_miss_events": self.tier_miss_events,
+            "tier_evicted_events": self.tier_evicted_events,
+            "tier_replicated_events": self.tier_replicated_events,
+            "link_saturations": self.link_saturations,
             "periods": self.periods,
             "meta_subjobs": self.meta_subjobs,
             "rules_published": self.rules_published,

@@ -4,11 +4,14 @@ Three report kinds:
 
 * ``kernel`` — micro-benchmarks of the simulator's hot paths: engine heap
   dispatch (with and without cancellation churn), :class:`Interval` /
-  :class:`IntervalSet` arithmetic, and disk-cache LRU operations;
+  :class:`IntervalSet` arithmetic, disk-cache LRU operations, and
+  topology routing (``topo.route``);
 * ``policies`` — end-to-end ``run_simulation`` per scheduling policy on
-  the reduced ``quick`` configuration, plus (outside ``--quick`` mode)
-  the paper's figure-5 out-of-order workload, whose data-events/second
-  rate is the headline throughput number of this repository;
+  the reduced ``quick`` configuration, the ``sim.tier.d1/d2/d3`` tiered
+  grid points (pricing the topology layer per depth), plus (outside
+  ``--quick`` mode) the paper's figure-5 out-of-order workload, whose
+  data-events/second rate is the headline throughput number of this
+  repository;
 * ``scale`` — the 10/100/1000-node scale tier with per-run peak-RSS
   tracking, in :mod:`repro.perf.scale`.
 
@@ -413,6 +416,66 @@ def _noop() -> None:
     """Delivery sink for :func:`bench_net_channel`."""
 
 
+def bench_topo_route(
+    n_lookups: int = 100_000, repeats: int = KERNEL_REPEATS
+) -> BenchRecord:
+    """Topology routing kernel: LCA distances, leaf-to-root path walks,
+    contended-link pricing (acquire / plan / release churn) and
+    tier-cache prefix probes on the ``depth3`` preset — the per-chunk
+    work :class:`~repro.topo.planner.TieredPlanner` adds to a tiered run.
+
+    >>> bench_topo_route(n_lookups=50, repeats=1).unit
+    'lookups'
+    """
+    from ..topo.spec import topology_preset
+    from ..topo.tree import Topology
+
+    n_nodes = 64
+
+    def setup() -> Callable[[], None]:
+        topo = Topology(
+            topology_preset("depth3", "lru-rack"),
+            n_nodes=n_nodes,
+            event_bytes=1000,
+        )
+        rng = _Lcg(seed=11)
+        pairs = [
+            (rng.below(n_nodes), rng.below(n_nodes)) for _ in range(n_lookups)
+        ]
+        extents = [
+            Interval(start, start + 200)
+            for start in (rng.below(1_000_000) for _ in range(512))
+        ]
+        for index, extent in enumerate(extents[::4]):
+            topo.tiers["site0.rack0"].cache.admit(extent, now=float(index))
+
+        def run() -> None:
+            clock = 0.0
+            for index, (a, b) in enumerate(pairs):
+                clock += 1.0
+                topo.distance(a, b)
+                path = topo.path_of(a)
+                for tier in path[:-1]:
+                    tier.planned_link_time(clock)
+                    tier.acquire()
+                cache = path[0].cache
+                if cache is not None:
+                    cache.cached_prefix(extents[index & 511])
+                for tier in path[:-1]:
+                    tier.release()
+
+        return run
+
+    wall = _best_of(setup, repeats)
+    return BenchRecord(
+        name="topo.route",
+        wall_seconds=wall,
+        work=n_lookups,
+        unit="lookups",
+        repeats=repeats,
+    )
+
+
 def _synthetic_flow_module(index: int) -> str:
     """One synthetic module exercising every flow-lint fact collector."""
     return (
@@ -485,6 +548,25 @@ def fig5_config() -> SimulationConfig:
     point at 1.6 jobs/hour over five simulated days (the same run the
     seed-metrics goldens pin bit-exactly)."""
     return paper_config(duration=5 * units.DAY, arrival_rate_per_hour=1.6)
+
+
+def tier_config(depth: int) -> SimulationConfig:
+    """The tiered macro workload at a given topology depth.
+
+    Depth 1 is the flat preset (trivially skipped data path), so the
+    ``sim.tier.d1`` / ``d2`` / ``d3`` records price exactly the overhead
+    the :class:`~repro.topo.planner.TieredPlanner` adds per level.
+    """
+    from ..topo.spec import topology_preset
+
+    preset = {1: "flat", 2: "depth2", 3: "depth3"}[depth]
+    return quick_config(
+        n_nodes=8,
+        duration=4 * units.DAY,
+        arrival_rate_per_hour=4.0,
+        seed=7,
+        topology=topology_preset(preset, "lru-rack"),
+    )
 
 
 def bench_simulation(
@@ -575,6 +657,7 @@ def run_kernel_bench(
         lambda: bench_sched_bidding(200 // scale, repeats),
         lambda: bench_net_channel(20_000 // scale, repeats),
         lambda: bench_lint_flow(150 // scale, repeats),
+        lambda: bench_topo_route(100_000 // scale, repeats),
     )
     records = tuple(_maybe_profile(build, profile) for build in builders)
     return BenchReport(kind="kernel", records=records)
@@ -601,6 +684,16 @@ def run_policy_bench(
         )
         for policy in names
     ]
+    if policies is None:
+        builders.extend(
+            lambda depth=depth: bench_simulation(
+                f"sim.tier.d{depth}",
+                lambda: tier_config(depth),
+                "out-of-order",
+                repeats,
+            )
+            for depth in (1, 2, 3)
+        )
     if not quick:
         builders.append(
             lambda: bench_simulation(

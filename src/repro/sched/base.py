@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover
     # module, and sim.config is only needed here for type hints.
     from ..faults.net import ControlChannel
     from ..sim.config import SimulationConfig
+    from ..topo.tree import TopologyView
     from .stats import SchedulerStats
 
 
@@ -60,6 +61,7 @@ class SchedulerContext:
         obs: HookBus = NULL_BUS,
         streams: Optional[RandomStreams] = None,
         channel: Optional["ControlChannel"] = None,
+        topo: Optional["TopologyView"] = None,
     ) -> None:
         self.engine = engine
         self.cluster = cluster
@@ -70,6 +72,9 @@ class SchedulerContext:
         #: Unreliable control LAN (repro.faults.net); ``None`` on a
         #: perfect network, in which case dispatches are synchronous.
         self.channel = channel
+        #: Hierarchical topology (repro.topo); ``None`` on the paper's
+        #: flat cluster, in which case all tier distances are zero.
+        self.topo = topo
 
     @property
     def now(self) -> float:
@@ -210,6 +215,17 @@ class SchedulerPolicy(ABC):
     def obs(self) -> HookBus:
         """The simulation's hook bus (disabled singleton before bind)."""
         return self.ctx.obs if self.ctx is not None else NULL_BUS
+
+    def tier_distance(self, node_a: Node, node_b: Node) -> int:
+        """Tier-tree hops between two nodes (0 on flat topologies).
+
+        The locality score cache-aware policies use as a tie-break;
+        distance-blind policies simply never call it.
+        """
+        ctx = self.ctx
+        if ctx is None or ctx.topo is None:
+            return 0
+        return ctx.topo.distance(node_a.node_id, node_b.node_id)
 
     def emit(self, kind: str, **fields: object) -> None:
         """Emit one trace event stamped with the current simulation time.

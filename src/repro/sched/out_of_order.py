@@ -229,9 +229,19 @@ class OutOfOrderPolicy(SchedulerPolicy):
 
     def _most_loaded_node(self, exclude: Node) -> Optional[Node]:
         """The busy node with the most outstanding work (running subjob
-        remainder plus its queue)."""
+        remainder plus its queue).
+
+        On hierarchical topologies equal loads go to the donor closest to
+        the thief in the tier tree — stolen work streams its data from
+        the donor's cache, so proximity keeps the transfer off the WAN.
+        Flat clusters have all-zero distances, preserving the historical
+        first-node-wins rule byte for byte.
+        """
+        ctx = self.ctx
+        topo = ctx.topo if ctx is not None else None
         best: Optional[Node] = None
         best_load = 0
+        best_distance = 0
         for node in self.cluster:
             if node is exclude or node.idle:
                 continue
@@ -240,6 +250,18 @@ class OutOfOrderPolicy(SchedulerPolicy):
             if load > best_load:
                 best_load = load
                 best = node
+                if topo is not None:
+                    best_distance = topo.distance(
+                        exclude.node_id, node.node_id
+                    )
+            elif (
+                topo is not None
+                and best is not None
+                and load == best_load
+                and topo.distance(exclude.node_id, node.node_id) < best_distance
+            ):
+                best = node
+                best_distance = topo.distance(exclude.node_id, node.node_id)
         if best_load < 2 * self.min_subjob_events:
             return None
         return best

@@ -14,6 +14,7 @@ from ..core import units
 from ..core.errors import ConfigurationError
 from ..cluster.costmodel import CostModel
 from ..data.dataspace import DataSpace
+from ..topo.spec import TopologySpec
 from ..workload.distributions import (
     ErlangJobSize,
     HotRegion,
@@ -266,6 +267,11 @@ class SimulationConfig:
     faults: Optional[FaultConfig] = None
     #: ``None`` simulates the paper's implicitly perfect control LAN.
     net: Optional[NetFaultConfig] = None
+
+    # -- hierarchical topology (repro.topo) --------------------------------------
+    #: ``None`` (or a trivial depth-1 spec) simulates the paper's flat
+    #: cluster: every node one disk hop from the shared tertiary store.
+    topology: Optional[TopologySpec] = None
 
     # -- validation -------------------------------------------------------------------
 

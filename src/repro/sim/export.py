@@ -33,7 +33,11 @@ PathLike = Union[str, Path]
 #: P² sketches), ``measured.std_waiting`` and the stretch statistics
 #: (``mean_stretch``/``p95_stretch``/``max_stretch``), plus the
 #: top-level ``records_dropped`` retention counter.
-SCHEMA_VERSION = 6
+#: Version 7 added the ``topo`` object (``None`` on flat runs): per-tier
+#: cache hit/miss/eviction counts, storage-cost integrals and
+#: link-saturation counters of a hierarchical (repro.topo) run, and
+#: allowed a ``tier`` key inside ``events_by_source``.
+SCHEMA_VERSION = 7
 
 #: Keys every version-2 summary must carry.
 _REQUIRED_SUMMARY_KEYS = (
@@ -143,6 +147,7 @@ def result_summary_dict(result: SimulationResult) -> dict:
         "wall_seconds": result.wall_seconds,
         "faults": result.faults.as_dict() if result.faults is not None else None,
         "sched": result.sched.as_dict() if result.sched is not None else None,
+        "topo": result.topo.as_dict() if result.topo is not None else None,
     }
 
 
@@ -185,6 +190,8 @@ def load_result_json(path: PathLike) -> dict:
     # in those files was exact, so readers may treat ``measured.exact``
     # as True and ``records_dropped`` as 0 when absent.
     summary.setdefault("records_dropped", 0)
+    # Pre-v7 files predate hierarchical topologies: every run was flat.
+    summary.setdefault("topo", None)
     missing = [key for key in _REQUIRED_SUMMARY_KEYS if key not in summary]
     if missing:
         raise ValueError(f"{path}: summary is missing keys {missing}")

@@ -16,11 +16,11 @@ the :class:`~repro.exec.SpecError` that felled it).
   paper's figure format, with overloaded points cut off by default;
 * :meth:`SweepResult.max_sustained_load` — highest steady load per label;
 * :meth:`SweepResult.by_label` / :meth:`SweepResult.to_json` — grouping
-  and machine-readable export (summary-JSON v6 conventions:
+  and machine-readable export (summary-JSON v7 conventions:
   ``schema_version``, per-point ``seed``, fault summary, control-plane
-  ``sched`` accounting including the reliability counters, and the
+  ``sched`` accounting including the reliability counters, the
   streaming-metrics fields — ``measured.exact``, stretch statistics,
-  ``records_dropped``).
+  ``records_dropped`` — and the per-point ``topo`` tier accounting).
 """
 
 from __future__ import annotations
@@ -51,8 +51,10 @@ if TYPE_CHECKING:  # pragma: no cover - the executor imports us back lazily
 #: (v3 added ``schema_version``, ``seed`` and the ``faults`` object;
 #: v4 added the ``sched`` control-plane accounting object; v5 added the
 #: reliability counters inside ``sched``; v6 added the streaming-metrics
-#: fields — ``measured.exact``, stretch statistics, ``records_dropped``).
-SWEEP_SCHEMA_VERSION = 6
+#: fields — ``measured.exact``, stretch statistics, ``records_dropped``;
+#: v7 added the per-point ``topo`` object — per-tier cache and
+#: link-saturation accounting, ``None`` on flat runs).
+SWEEP_SCHEMA_VERSION = 7
 
 #: One slot of a sweep: the result, or the structured failure.
 SpecOutcome = Union[SimulationResult, SpecError]
@@ -190,6 +192,11 @@ class SweepResult:
                         "sched": (
                             outcome.sched.as_dict()
                             if outcome.sched is not None
+                            else None
+                        ),
+                        "topo": (
+                            outcome.topo.as_dict()
+                            if outcome.topo is not None
                             else None
                         ),
                     }

@@ -23,6 +23,7 @@ from ..core.clock import wall_clock
 from ..core.engine import Engine
 from ..core.events import EventPriority
 from ..core.rng import RandomStreams
+from ..cluster.access import RemoteReadPlanner
 from ..cluster.cluster import Cluster
 from ..cluster.costmodel import DataSource
 from ..cluster.node import Node
@@ -30,6 +31,8 @@ from ..data.tertiary import TertiaryStorage
 from ..obs.hooks import HookBus, TraceSink, kinds
 from ..sched.base import SchedulerContext, SchedulerPolicy, create_policy
 from ..sched.stats import SchedulerStats
+from ..topo.planner import TieredPlanner
+from ..topo.tree import Topology, TopoSummary
 from ..workload.generator import WorkloadGenerator
 from ..workload.jobs import Job, JobRequest, Subjob
 from .config import SimulationConfig
@@ -75,6 +78,8 @@ class SimulationResult:
     #: Per-job records dropped by the retention cap (0 on small runs and
     #: whenever ``retain_records`` was set).
     records_dropped: int = 0
+    #: Per-tier topology accounting; ``None`` on flat (paper-shaped) runs.
+    topo: Optional[TopoSummary] = None
 
     # -- convenience accessors used by the figure harness ------------------------
 
@@ -104,6 +109,7 @@ class SimulationResult:
             return math.nan
         hits = self.events_by_source.get(DataSource.CACHE.value, 0)
         hits += self.events_by_source.get(DataSource.REMOTE.value, 0)
+        hits += self.events_by_source.get(DataSource.TIER.value, 0)
         return hits / total
 
     def brief(self) -> str:
@@ -149,6 +155,22 @@ class Simulation:
         dataspace = config.dataspace()
         self.tertiary = TertiaryStorage(dataspace, obs=self.obs)
         planner = policy.make_planner(self.tertiary)
+        #: Hierarchical topology (repro.topo); ``None`` for flat runs —
+        #: including trivial depth-1 specs, so the paper-shaped code path
+        #: (and its goldens) stays untouched byte for byte.
+        self.topo: Optional[Topology] = None
+        if config.topology is not None and not config.topology.is_trivial:
+            self.topo = Topology(
+                config.topology,
+                n_nodes=config.n_nodes,
+                event_bytes=config.event_bytes,
+                obs=self.obs,
+            )
+            if isinstance(planner, RemoteReadPlanner):
+                # Peer selection becomes tier-locality-aware (same-prefix
+                # ties go to the closest peer).
+                planner.topology_view = self.topo
+            planner = TieredPlanner(planner, self.topo)
         self.cluster = Cluster(
             engine=self.engine,
             n_nodes=config.n_nodes,
@@ -210,6 +232,7 @@ class Simulation:
                 obs=self.obs,
                 streams=self.streams,
                 channel=self.channel,
+                topo=self.topo,
             )
         )
         if self.channel is not None:
@@ -419,10 +442,17 @@ class Simulation:
             jobs_completed=self.metrics.jobs_completed,
             duration=config.duration,
         )
-        events_by_source: Dict[str, int] = {s.value: 0 for s in DataSource}
+        # The TIER source exists only on hierarchical runs; flat results
+        # keep the historical three-key dict, bit-identical to goldens.
+        events_by_source: Dict[str, int] = {
+            s.value: 0
+            for s in DataSource
+            if s is not DataSource.TIER or self.topo is not None
+        }
         for node in self.cluster:
             for source, count in node.stats.events_by_source.items():
-                events_by_source[source.value] += count
+                if source.value in events_by_source:
+                    events_by_source[source.value] += count
         # Control-plane accounting: decentral policies measure it; for
         # central ones we synthesize the classic estimate — one dispatch
         # message per subjob start, one report per completion.
@@ -454,6 +484,10 @@ class Simulation:
             fault_summary = self.injector.summary(
                 degraded_makespan=self.metrics.max_completion
             )
+        topo_summary: Optional[TopoSummary] = None
+        if self.topo is not None:
+            self.topo.finalize(until=config.duration)
+            topo_summary = self.topo.summary()
         return SimulationResult(
             config=config,
             policy_name=self.policy.name,
@@ -474,6 +508,7 @@ class Simulation:
             faults=fault_summary,
             sched=sched_stats,
             records_dropped=self.metrics.records_dropped,
+            topo=topo_summary,
         )
 
 

@@ -1,0 +1,46 @@
+"""Hierarchical data-grid topology (``repro.topo``).
+
+The paper models one flat LAN cluster: N identical nodes with local disk
+caches in front of a single shared tertiary store.  This package
+generalises that shape into a *tier tree* (site -> rack -> node) in which
+
+* every edge is a finite-bandwidth, contended link (WAN / LAN / bus),
+* every interior tier may host a cache (rack-level disk pools, site-level
+  replica stores) in front of the root tertiary system, and
+* replica-placement policies decide which tier caches are populated on a
+  miss — with storage-cost accounting, so the replication *economics* are
+  measurable rather than assumed.
+
+The flat cluster is the degenerate depth-1 topology: a single root tier
+with no uplinks and no tier cache.  Such a topology is observationally a
+no-op — runs are bit-identical to a topology-less build (the simulator
+does not even install the :class:`~repro.topo.planner.TieredPlanner`).
+
+Everything here is deterministic: path resolution, contention accounting
+and placement decisions derive purely from the declarative
+:class:`~repro.topo.spec.TopologySpec` and the simulated event order —
+no random draws, so topology never perturbs workload or fault streams.
+"""
+
+from .spec import (
+    PLACEMENTS,
+    TOPOLOGY_PRESETS,
+    TierSpec,
+    TopologySpec,
+    topology_preset,
+)
+from .tree import TierSummary, Topology, TopologyView, TopoSummary
+from .planner import TieredPlanner
+
+__all__ = [
+    "PLACEMENTS",
+    "TOPOLOGY_PRESETS",
+    "TierSpec",
+    "TopologySpec",
+    "topology_preset",
+    "TierSummary",
+    "Topology",
+    "TopologyView",
+    "TopoSummary",
+    "TieredPlanner",
+]

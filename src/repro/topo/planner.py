@@ -1,0 +1,274 @@
+"""Tier-aware data-access planning: the :class:`TieredPlanner` wrapper.
+
+On a hierarchical topology every data stream occupies the uplinks
+between its endpoints, and interior tier caches may short-circuit the
+trip to the root tertiary store.  Rather than teaching every planner in
+``repro.cluster.access`` about tiers, a single decorator wraps whichever
+planner the policy installed:
+
+* chunks the base planner resolves against the **local cache** are
+  untouched (node-to-leaf-tier attachment is free);
+* **tertiary** chunks first walk the node's tier path bottom-up looking
+  for a tier-cache hit — a hit becomes a :attr:`DataSource.TIER` chunk
+  served by that tier, traversing only the uplinks below it; a full miss
+  streams from the root, traversing (and paying for) every uplink on the
+  path;
+* **remote** chunks pay for the uplinks on both sides of the two nodes'
+  lowest common ancestor, on top of whatever contention factor the base
+  planner already priced in.
+
+Link costs use the same snapshot-at-plan-time queueing model as
+:class:`~repro.cluster.access.ContentionRemoteReadPlanner`: the per-event
+link time scales with the oversubscription ratio observed when the chunk
+is planned, and the links' stream counters are held for exactly the
+chunk's lifetime via the started/finished hooks.
+
+Replica placement runs at accounting time: each tertiary read is offered
+to the tier caches on the reading node's path according to the spec's
+placement policy (``none`` / ``root-only`` / ``lru-rack`` /
+``proactive-site`` — see :data:`repro.topo.spec.PLACEMENTS`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from ..cluster.access import ChunkPlan, DataAccessPlanner, RemoteAccessCounter
+from ..cluster.costmodel import DataSource
+from ..data.intervals import Interval
+from ..obs.hooks import kinds
+from .tree import Tier, Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+
+
+class TieredPlanner(DataAccessPlanner):
+    """Wraps a policy's planner with tier-path routing and placement.
+
+    The wrapper is transparent to schedulers: ``use_cache`` /
+    ``populate_cache`` / ``tertiary`` mirror the wrapped planner, and all
+    accounting hooks delegate before adding tier bookkeeping.  Policies
+    that hold a direct reference to their planner (e.g. replication's
+    ``set_peers``) keep talking to the base instance.
+    """
+
+    def __init__(self, base: DataAccessPlanner, topology: Topology) -> None:
+        super().__init__(base.tertiary)
+        self.base = base
+        self.topology = topology
+        # Mirror the base planner's behaviour flags (class attrs there).
+        self.use_cache = base.use_cache
+        self.populate_cache = base.populate_cache
+        #: Per-node routing tables, filled lazily: the node's tier path
+        #: (leaf first), its cache-bearing tiers (bottom-up), and the
+        #: uplinks a root-tertiary stream traverses.
+        self._caches_of: Dict[int, Tuple[Tier, ...]] = {}
+        self._root_via: Dict[int, Tuple[Tier, ...]] = {}
+        #: proactive-site promotion counters, one per topmost path tier.
+        self._promoters: Dict[str, RemoteAccessCounter] = {}
+
+    # -- routing tables ------------------------------------------------------
+
+    def _cache_tiers(self, node_id: int) -> Tuple[Tier, ...]:
+        cached = self._caches_of.get(node_id)
+        if cached is None:
+            cached = tuple(
+                tier
+                for tier in self.topology.path_of(node_id)
+                if tier.cache is not None
+            )
+            self._caches_of[node_id] = cached
+        return cached
+
+    def _tertiary_via(self, node_id: int) -> Tuple[Tier, ...]:
+        via = self._root_via.get(node_id)
+        if via is None:
+            # Every tier on the path except the root has an uplink.
+            via = self.topology.path_of(node_id)[:-1]
+            self._root_via[node_id] = via
+        return via
+
+    # -- planning ------------------------------------------------------------
+
+    def plan_chunk(
+        self, node: "Node", remaining: Interval, max_events: int
+    ) -> ChunkPlan:
+        plan = self.base.plan_chunk(node, remaining, max_events)
+        if plan.source is DataSource.TERTIARY:
+            return self._route_tertiary(node, plan)
+        if plan.source is DataSource.REMOTE:
+            return self._route_remote(node, plan)
+        return plan
+
+    def _route_tertiary(self, node: "Node", plan: ChunkPlan) -> ChunkPlan:
+        """Serve from the lowest tier cache holding a prefix, else stream
+        from the root paying every uplink on the path."""
+        now = node.engine.now
+        model = node.cost_model
+        path = self.topology.path_of(node.node_id)
+        for index, tier in enumerate(path):
+            cache = tier.cache
+            if cache is None:
+                continue
+            prefix = cache.cached_prefix(plan.interval)
+            if prefix.empty:
+                continue
+            # Reading tier ``index`` traverses the uplinks of every tier
+            # below it on the path (leaf attachment itself is free).
+            via = path[:index]
+            base_time = model.event_time(DataSource.TIER)
+            extra = 0.0
+            for hop in via:
+                extra += hop.planned_link_time(now)
+            return ChunkPlan(
+                interval=prefix,
+                source=DataSource.TIER,
+                rate_factor=1.0 + extra / base_time,
+                via=via,
+                tier=tier,
+            )
+        via = self._tertiary_via(node.node_id)
+        extra = 0.0
+        for hop in via:
+            extra += hop.planned_link_time(now)
+        if extra == 0.0:
+            return plan
+        base_time = model.event_time(DataSource.TERTIARY)
+        return ChunkPlan(
+            interval=plan.interval,
+            source=plan.source,
+            rate_factor=plan.rate_factor + extra / base_time,
+            via=via,
+        )
+
+    def _route_remote(self, node: "Node", plan: ChunkPlan) -> ChunkPlan:
+        assert plan.owner is not None
+        via = self.topology.uplinks_between(node.node_id, plan.owner.node_id)
+        if not via:
+            return plan  # same leaf tier: intra-rack, no uplinks occupied
+        now = node.engine.now
+        extra = 0.0
+        for hop in via:
+            extra += hop.planned_link_time(now)
+        base_time = node.cost_model.event_time(DataSource.REMOTE)
+        return ChunkPlan(
+            interval=plan.interval,
+            source=plan.source,
+            owner=plan.owner,
+            rate_factor=plan.rate_factor + extra / base_time,
+            via=via,
+        )
+
+    # -- lifetime hooks ------------------------------------------------------
+
+    def on_chunk_started(self, node: "Node", plan: ChunkPlan) -> None:
+        self.base.on_chunk_started(node, plan)
+        for tier in plan.via:
+            tier.acquire()
+
+    def on_chunk_finished(self, node: "Node", plan: ChunkPlan) -> None:
+        self.base.on_chunk_finished(node, plan)
+        for tier in plan.via:
+            tier.release()
+
+    # -- accounting ----------------------------------------------------------
+
+    def on_chunk_processed(
+        self, node: "Node", plan: ChunkPlan, processed: Interval
+    ) -> None:
+        if plan.source is DataSource.TIER:
+            self._account_tier_read(node, plan, processed)
+            return
+        self.base.on_chunk_processed(node, plan, processed)
+        if processed.empty:
+            return
+        for tier in plan.via:
+            tier.link_events += processed.length
+        if plan.source is DataSource.TERTIARY:
+            self._account_tertiary_read(node, processed)
+
+    def _account_tier_read(
+        self, node: "Node", plan: ChunkPlan, processed: Interval
+    ) -> None:
+        if processed.empty:
+            return
+        assert plan.tier is not None and plan.tier.cache is not None
+        now = node.engine.now
+        plan.tier.cache.serve(processed, now)
+        for tier in plan.via:
+            tier.link_events += processed.length
+            # Caches below the serving tier were consulted and missed.
+            if tier.cache is not None:
+                tier.cache.record_miss(processed, now)
+                if self.topology.placement == "lru-rack":
+                    # Pull-through: data migrates down toward the node.
+                    tier.cache.admit(processed, now)
+        obs = node.obs
+        if obs.enabled and self.use_cache:
+            # A tier hit is still a *node-cache* miss — keep the local
+            # cache hit/miss event stream consistent with flat runs.
+            obs.emit(
+                now,
+                kinds.CACHE_MISS,
+                "planner",
+                node=node.node_id,
+                events=processed.length,
+            )
+        if self.populate_cache:
+            node.cache.insert(processed, now)
+
+    def _account_tertiary_read(self, node: "Node", processed: Interval) -> None:
+        """Offer a root-tertiary read to the path caches per placement."""
+        caches = self._cache_tiers(node.node_id)
+        if not caches:
+            return
+        now = node.engine.now
+        for tier in caches:
+            assert tier.cache is not None
+            tier.cache.record_miss(processed, now)
+        placement = self.topology.placement
+        if placement == "none":
+            return
+        if placement == "root-only":
+            top = caches[-1].cache
+            assert top is not None
+            top.admit(processed, now)
+        elif placement == "lru-rack":
+            for tier in caches:
+                assert tier.cache is not None
+                tier.cache.admit(processed, now)
+        elif placement == "proactive-site":
+            self._promote(node, caches, processed, now)
+
+    def _promote(
+        self,
+        node: "Node",
+        caches: Tuple[Tier, ...],
+        processed: Interval,
+        now: float,
+    ) -> None:
+        """proactive-site: promote an extent into every path cache once
+        it has streamed from the root ``promote_threshold`` times."""
+        top = caches[-1]
+        promoter = self._promoters.get(top.name)
+        if promoter is None:
+            promoter = RemoteAccessCounter(self.topology.spec.promote_threshold)
+            self._promoters[top.name] = promoter
+        promoted = promoter.register(processed)
+        if not promoted:
+            return
+        obs = node.obs
+        for extent in promoted:
+            self.topology.replicated_events += extent.length
+            for tier in caches:
+                assert tier.cache is not None
+                tier.cache.admit(extent, now)
+            if obs.enabled:
+                obs.emit(
+                    now,
+                    kinds.TIER_REPLICATE,
+                    "topo",
+                    tier=top.name,
+                    events=extent.length,
+                )

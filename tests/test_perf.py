@@ -271,6 +271,7 @@ class TestHarness:
             "sched.bidding",
             "sched.netchannel",
             "lint.flow",
+            "topo.route",
         ]
         for record in report.records:
             assert record.wall_seconds > 0

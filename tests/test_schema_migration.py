@@ -1,15 +1,17 @@
-"""Summary-JSON schema migration tests (v4 -> v5 -> v6).
+"""Summary-JSON schema migration tests (v4 -> v5 -> v6 -> v7).
 
 Version 5 added the control-plane reliability counters inside ``sched``;
 version 6 added the streaming-metrics fields (``measured.exact``, the
-stretch statistics, ``std_waiting``, ``records_dropped``).  The
-committed ``tests/goldens/summary_v4.json`` / ``summary_v5.json``
-fixtures are real summaries of their era; these tests pin the migration
-contract: old files load with the newer keys defaulting sensibly (v6
-absences mean "everything was exact, nothing dropped"), files from the
-future — or with a mangled version stamp — are rejected with a clear
-error, and the result cache's fingerprint namespace rolls over with the
-schema so stale pickles are never served.
+stretch statistics, ``std_waiting``, ``records_dropped``); version 7
+added the ``topo`` tier-accounting object (``None`` on flat runs).  The
+committed ``tests/goldens/summary_v4.json`` / ``summary_v5.json`` /
+``summary_v6.json`` fixtures are real summaries of their era; these
+tests pin the migration contract: old files load with the newer keys
+defaulting sensibly (v6 absences mean "everything was exact, nothing
+dropped"; v7 absences mean "flat cluster, no tier caches"), files from
+the future — or with a mangled version stamp — are rejected with a
+clear error, and the result cache's fingerprint namespace rolls over
+with the schema so stale pickles are never served.
 """
 
 import json
@@ -31,6 +33,7 @@ from repro.sim.simulator import run_simulation
 
 V4_FIXTURE = Path(__file__).parent / "goldens" / "summary_v4.json"
 V5_FIXTURE = Path(__file__).parent / "goldens" / "summary_v5.json"
+V6_FIXTURE = Path(__file__).parent / "goldens" / "summary_v6.json"
 
 
 class TestV4RoundTrip:
@@ -43,9 +46,11 @@ class TestV4RoundTrip:
         raw = json.loads(V4_FIXTURE.read_text())
         loaded = load_result_json(V4_FIXTURE)
         # The reader leaves v4 payloads alone apart from the documented
-        # defaults (pre-v6 files never dropped records); tolerance for
-        # the sched counters lives in SchedulerStats.from_dict.
+        # defaults (pre-v6 files never dropped records, pre-v7 files
+        # were all flat clusters); tolerance for the sched counters
+        # lives in SchedulerStats.from_dict.
         assert loaded.pop("records_dropped") == 0
+        assert loaded.pop("topo") is None
         assert loaded == raw
 
     def test_v4_sched_rebuilds_with_zero_reliability_counters(self):
@@ -86,7 +91,7 @@ class TestV5RoundTrip:
         assert loaded["sched"] == raw["sched"]
 
     def test_v5_round_trips_against_current_writer(self, tmp_path):
-        # The v6 writer on the same seeded run reproduces every v5
+        # The current writer on the same seeded run reproduces every v5
         # measured value bit-for-bit — the streaming refactor only ever
         # *added* keys on exact runs.
         old = json.loads(V5_FIXTURE.read_text())
@@ -94,10 +99,53 @@ class TestV5RoundTrip:
             quick_config(duration=43_200.0, seed=2, n_nodes=3), "farm"
         )
         new = result_summary_dict(result)
-        assert new["schema_version"] == 6
+        assert new["schema_version"] == SCHEMA_VERSION
         assert new["measured"]["exact"] is True
         for key, value in old["measured"].items():
             assert new["measured"][key] == value, key
+
+
+class TestV6RoundTrip:
+    def test_fixture_is_genuinely_v6(self):
+        raw = json.loads(V6_FIXTURE.read_text())
+        assert raw["schema_version"] == 6
+        assert "topo" not in raw
+        assert "tier" not in raw["events_by_source"]
+
+    def test_v6_loads_with_v7_defaults(self):
+        loaded = load_result_json(V6_FIXTURE)
+        # v6-era runs were all flat clusters, so the reader's default
+        # must say exactly that: no topology, no tier reads.
+        assert loaded["topo"] is None
+        assert "tier" not in loaded["events_by_source"]
+
+    def test_v6_measured_values_survive_unchanged(self):
+        raw = json.loads(V6_FIXTURE.read_text())
+        loaded = load_result_json(V6_FIXTURE)
+        assert loaded["measured"] == raw["measured"]
+        assert loaded["sched"] == raw["sched"]
+        assert loaded["events_by_source"] == raw["events_by_source"]
+
+    def test_v6_round_trips_against_current_writer(self):
+        # The v7 writer on the same seeded flat run reproduces every v6
+        # value bit-for-bit — the topology refactor only ever *added*
+        # the ``topo`` key, and only stamps it non-None on tiered runs.
+        old = json.loads(V6_FIXTURE.read_text())
+        result = run_simulation(
+            quick_config(duration=43_200.0, seed=2, n_nodes=3), "farm"
+        )
+        new = result_summary_dict(result)
+        assert new["schema_version"] == SCHEMA_VERSION
+        assert new["topo"] is None
+        for key, value in old.items():
+            if key in ("schema_version", "wall_seconds"):
+                continue
+            if key == "config":
+                # v7 configs gained the (None-valued) ``topology`` field.
+                assert new["config"].pop("topology") is None
+            # Normalize through JSON: the writer emits tuples where the
+            # parsed fixture holds lists.
+            assert json.loads(json.dumps(new[key], default=float)) == value, key
 
 
 class TestCurrentSchema:
